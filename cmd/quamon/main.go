@@ -1,0 +1,112 @@
+// quamon is the kernel monitor (Section 6.1: "measurement facilities
+// include an instruction counter, a memory reference counter, hardware
+// program tracing"): it boots a Synthesis kernel, runs a small
+// demonstration workload, and dumps the execution trace, the
+// per-quaject disassembly, and the machine counters.
+//
+// Usage:
+//
+//	quamon                 # run the demo workload with tracing
+//	quamon -disasm         # also disassemble the synthesized quajects
+//	quamon -trace 64       # show the last N trace entries
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"synthesis/internal/kernel"
+	"synthesis/internal/kio"
+	"synthesis/internal/m68k"
+	"synthesis/internal/synth"
+	"synthesis/internal/unixemu"
+)
+
+func main() {
+	disasm := flag.Bool("disasm", false, "disassemble the synthesized quajects")
+	traceN := flag.Int("trace", 48, "trace entries to display")
+	flag.Parse()
+
+	cfg := m68k.Sun3Config()
+	cfg.TraceDepth = 4096
+	k := kernel.Boot(kernel.Config{Machine: cfg, ChargeSynthesis: true})
+	io := kio.Install(k)
+	unixemu.Install(k)
+	_ = io
+
+	if _, err := k.FS.CreateSized("/etc/motd", []byte("welcome to synthesis\n"), 256); err != nil {
+		panic(err)
+	}
+	nameAddr := uint32(0xA000)
+	for i, c := range []byte("/etc/motd\x00") {
+		k.M.Poke(nameAddr+uint32(i), 1, uint32(c))
+	}
+
+	// Demo workload: open the file natively, read it, write it to the
+	// tty, and exit.
+	prog := k.C.Synthesize(nil, "demo", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.Imm(kernel.SysOpen), m68k.D(0))
+		e.MoveL(m68k.Imm(int32(nameAddr)), m68k.D(1))
+		e.Trap(kernel.TrapSys)
+		e.MoveL(m68k.Imm(0xB000), m68k.D(1))
+		e.MoveL(m68k.Imm(64), m68k.D(2))
+		e.Trap(kernel.TrapRead + 0)
+		e.MoveL(m68k.D(0), m68k.D(5)) // length read
+		// Write it to the tty (open -> fd 1).
+		e.MoveL(m68k.Imm(kernel.SysOpen), m68k.D(0))
+		e.MoveL(m68k.Imm(0xA010), m68k.D(1))
+		e.Trap(kernel.TrapSys)
+		e.MoveL(m68k.Imm(0xB000), m68k.D(1))
+		e.MoveL(m68k.D(5), m68k.D(2))
+		e.Trap(kernel.TrapWrite + 1)
+		e.MoveL(m68k.Imm(kernel.SysExit), m68k.D(0))
+		e.Trap(kernel.TrapSys)
+	})
+	for i, c := range []byte("/dev/tty\x00") {
+		k.M.Poke(0xA010+uint32(i), 1, uint32(c))
+	}
+
+	th := k.SpawnKernel("demo", prog)
+	k.Start(th)
+	if err := k.Run(50_000_000); err != nil {
+		fmt.Println("run:", err)
+	}
+
+	fmt.Printf("tty output: %q\n\n", string(k.TTY.Output()))
+	fmt.Printf("machine counters: %d instructions, %d memory references, %d cycles (%.1f usec simulated)\n\n",
+		k.M.Instrs, k.M.MemRefs, k.M.Cycles, k.M.Now())
+
+	fmt.Printf("execution trace (last %d entries):\n", *traceN)
+	entries := k.M.Trace.Entries()
+	if len(entries) > *traceN {
+		entries = entries[len(entries)-*traceN:]
+	}
+	for _, e := range entries {
+		if e.Exc >= 0 {
+			fmt.Printf("%10d  ** exception vector %d (from pc %d)\n", e.Cycles, e.Exc, e.PC)
+			continue
+		}
+		fmt.Printf("%10d  %6d: %s\n", e.Cycles, e.PC, e.Instr)
+	}
+
+	if *disasm {
+		fmt.Println("\nsynthesized quajects:")
+		type named struct {
+			name string
+			t    *kernel.Thread
+		}
+		var list []named
+		for _, t := range k.Threads {
+			list = append(list, named{t.Name, t})
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].name < list[j].name })
+		for _, n := range list {
+			fmt.Printf("\n--- thread %s ---\n", n.name)
+			for _, entry := range n.t.Q.EntryNames() {
+				addr := n.t.Q.Entries[entry]
+				fmt.Printf("%s @ %d:\n%s", entry, addr, m68k.Disassemble(k.M.Code, addr, 18))
+			}
+		}
+	}
+}

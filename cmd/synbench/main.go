@@ -1,0 +1,58 @@
+// synbench regenerates the evaluation of "Threads and Input/Output in
+// the Synthesis Kernel" (Massalin & Pu, SOSP 1989): Tables 1-5, the
+// Section 6.4 size accounting, and the design-choice ablations, all on
+// the simulated Quamachine at the SUN 3/160 emulation point.
+//
+// Usage:
+//
+//	synbench                 # everything
+//	synbench -table 1        # one table (1..5, size, ablations)
+//	synbench -iters 500      # heavier Table 1 loops
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"synthesis/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 1,2,3,4,5,pathlen,size,ablations,all")
+	iters := flag.Int("iters", 200, "loop count for the Table 1 programs")
+	flag.Parse()
+
+	type job struct {
+		name string
+		run  func() (bench.Table, error)
+	}
+	jobs := []job{
+		{"1", func() (bench.Table, error) { return bench.Table1(bench.Table1Config{Iters: int32(*iters)}) }},
+		{"2", bench.Table2},
+		{"3", bench.Table3},
+		{"4", bench.Table4},
+		{"5", bench.Table5},
+		{"pathlen", bench.PathLengths},
+		{"size", bench.SizeTable},
+		{"ablations", bench.Ablations},
+	}
+
+	ran := false
+	for _, j := range jobs {
+		if *table != "all" && *table != j.name {
+			continue
+		}
+		ran = true
+		t, err := j.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "synbench: table %s: %v\n", j.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.String())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "synbench: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,110 @@
+// synsh is a small interactive demonstration: it boots the Synthesis
+// kernel, types a scripted command line into the simulated tty
+// (including erase and kill control characters so the cooked filter
+// has work to do), and shows a shell thread reading the cooked line,
+// resolving it against the memory-resident file system, and writing
+// the file back out through the tty.
+//
+// Usage:
+//
+//	synsh                       # scripted demo
+//	synsh -type "cat /etc/motd" # choose the typed command
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"synthesis/internal/kernel"
+	"synthesis/internal/kio"
+	"synthesis/internal/m68k"
+	"synthesis/internal/synth"
+	"synthesis/internal/unixemu"
+)
+
+func main() {
+	typed := flag.String("type", "cat /ets\b\btc/motd", "command typed at the tty (supports \\b erase)")
+	flag.Parse()
+
+	k := kernel.Boot(kernel.Config{Machine: m68k.Sun3Config(), ChargeSynthesis: true})
+	kio.Install(k)
+	unixemu.Install(k)
+	if _, err := k.FS.CreateSized("/etc/motd", []byte("Synthesis: kernel code synthesis + optimistic synchronization\n"), 256); err != nil {
+		panic(err)
+	}
+
+	const (
+		ttyName  = 0xA000
+		lineBuf  = 0xB000
+		fileBuf  = 0xB200
+		nameCell = 0xB100 // the parsed path, NUL terminated
+	)
+	for i, c := range []byte("/dev/tty\x00") {
+		k.M.Poke(ttyName+uint32(i), 1, uint32(c))
+	}
+
+	// Type the command, ending with newline. Characters arrive at a
+	// realistic pace so the interrupt handler and cooked filter do
+	// their jobs.
+	gap := uint64(2000)
+	k.TTY.InputString(*typed+"\n", 5000, gap)
+
+	// The "shell": read a cooked line, take everything after the
+	// first space as a path, open it, stream it to the tty.
+	shell := k.C.Synthesize(nil, "shell", nil, func(e *synth.Emitter) {
+		// fd 0 = /dev/tty (cooked).
+		e.MoveL(m68k.Imm(kernel.SysOpen), m68k.D(0))
+		e.MoveL(m68k.Imm(ttyName), m68k.D(1))
+		e.Trap(kernel.TrapSys)
+		// Read one line.
+		e.MoveL(m68k.Imm(lineBuf), m68k.D(1))
+		e.MoveL(m68k.Imm(120), m68k.D(2))
+		e.Trap(kernel.TrapRead + 0)
+		e.MoveL(m68k.D(0), m68k.D(5)) // line length
+		// Parse: find the space, copy the rest (minus newline) to
+		// nameCell.
+		e.Lea(m68k.Abs(lineBuf), 0)
+		e.Label("findsp")
+		e.Clr(4, m68k.D(0))
+		e.MoveB(m68k.PostInc(0), m68k.D(0))
+		e.Beq("nopath")
+		e.CmpL(m68k.Imm(' '), m68k.D(0))
+		e.Bne("findsp")
+		e.Lea(m68k.Abs(nameCell), 1)
+		e.Label("cppath")
+		e.Clr(4, m68k.D(0))
+		e.MoveB(m68k.PostInc(0), m68k.D(0))
+		e.CmpL(m68k.Imm('\n'), m68k.D(0))
+		e.Beq("cpdone")
+		e.TstL(m68k.D(0))
+		e.Beq("cpdone")
+		e.MoveB(m68k.D(0), m68k.PostInc(1))
+		e.Bra("cppath")
+		e.Label("cpdone")
+		e.Clr(1, m68k.Ind(1))
+		// fd 1 = the file.
+		e.MoveL(m68k.Imm(kernel.SysOpen), m68k.D(0))
+		e.MoveL(m68k.Imm(nameCell), m68k.D(1))
+		e.Trap(kernel.TrapSys)
+		e.TstL(m68k.D(0))
+		e.Bmi("nopath")
+		// Stream it out.
+		e.MoveL(m68k.Imm(fileBuf), m68k.D(1))
+		e.MoveL(m68k.Imm(200), m68k.D(2))
+		e.Trap(kernel.TrapRead + 1)
+		e.MoveL(m68k.D(0), m68k.D(2))
+		e.MoveL(m68k.Imm(fileBuf), m68k.D(1))
+		e.Trap(kernel.TrapWrite + 0)
+		e.Label("nopath")
+		e.MoveL(m68k.Imm(kernel.SysExit), m68k.D(0))
+		e.Trap(kernel.TrapSys)
+	})
+	th := k.SpawnKernel("shell", shell)
+	k.Start(th)
+	if err := k.Run(2_000_000_000); err != nil {
+		fmt.Println("run:", err)
+	}
+	fmt.Printf("typed (with control characters): %q\n", *typed+"\n")
+	fmt.Printf("tty transcript:\n%s\n", string(k.TTY.Output()))
+	fmt.Printf("(%d instructions, %.0f usec simulated)\n", k.M.Instrs, k.M.Now())
+}

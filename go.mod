@@ -1,0 +1,3 @@
+module synthesis
+
+go 1.24

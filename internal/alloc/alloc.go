@@ -1,0 +1,154 @@
+// Package alloc is the Synthesis kernel's memory allocator: Section
+// 6.3 notes that "the memory allocation routine is an executable data
+// structure implementing a fast-fit heap with randomized traversal
+// added". This implementation manages a region of Quamachine memory
+// for the kernel (TTEs, queue buffers, file data, quaspaces).
+//
+// Free space is kept in an address-ordered list of blocks with
+// immediate coalescing; allocation starts from a roving, pseudo-
+// randomly advanced position in the list ("randomized traversal"),
+// which spreads allocations across the arena and keeps the expected
+// search length short — the fast-fit property — instead of piling
+// small blocks at the front the way naive first-fit does.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoMemory is returned when no free block can satisfy a request.
+var ErrNoMemory = errors.New("alloc: out of memory")
+
+// Align is the allocation granularity in bytes.
+const Align = 8
+
+type block struct {
+	addr uint32
+	size uint32
+}
+
+// Heap manages [base, base+size) of some address space.
+type Heap struct {
+	base uint32
+	size uint32
+	free []block // address-ordered free blocks
+	used map[uint32]uint32
+	rov  uint32 // roving randomized start, linear-congruential state
+
+	// Statistics.
+	Allocs   uint64
+	Frees    uint64
+	Searched uint64 // blocks examined across all allocations
+}
+
+// New creates a heap over [base, base+size).
+func New(base, size uint32) *Heap {
+	size &^= Align - 1
+	return &Heap{
+		base: base,
+		size: size,
+		free: []block{{addr: base, size: size}},
+		used: make(map[uint32]uint32),
+		rov:  base | 1,
+	}
+}
+
+// Base returns the start of the managed region.
+func (h *Heap) Base() uint32 { return h.base }
+
+// Size returns the size of the managed region.
+func (h *Heap) Size() uint32 { return h.size }
+
+// FreeBytes returns the total free space.
+func (h *Heap) FreeBytes() uint32 {
+	var n uint32
+	for _, b := range h.free {
+		n += b.size
+	}
+	return n
+}
+
+// FreeBlocks returns the current fragmentation (number of free
+// blocks).
+func (h *Heap) FreeBlocks() int { return len(h.free) }
+
+// nextRov advances the randomized roving index.
+func (h *Heap) nextRov() uint32 {
+	// Small LCG; only the traversal start position depends on it, so
+	// quality hardly matters — it just needs to jump around.
+	h.rov = h.rov*1664525 + 1013904223
+	return h.rov
+}
+
+// Alloc reserves n bytes and returns the block address.
+func (h *Heap) Alloc(n uint32) (uint32, error) {
+	if n == 0 {
+		n = Align
+	}
+	n = (n + Align - 1) &^ (Align - 1)
+	if len(h.free) == 0 {
+		return 0, ErrNoMemory
+	}
+	// Randomized traversal: start the first-fit scan at a pseudo-
+	// random position in the free list and wrap.
+	start := int(h.nextRov() % uint32(len(h.free)))
+	for k := 0; k < len(h.free); k++ {
+		i := (start + k) % len(h.free)
+		h.Searched++
+		if h.free[i].size >= n {
+			addr := h.free[i].addr
+			if h.free[i].size == n {
+				h.free = append(h.free[:i], h.free[i+1:]...)
+			} else {
+				h.free[i].addr += n
+				h.free[i].size -= n
+			}
+			h.used[addr] = n
+			h.Allocs++
+			return addr, nil
+		}
+	}
+	return 0, ErrNoMemory
+}
+
+// Free releases a block returned by Alloc, coalescing with free
+// neighbours.
+func (h *Heap) Free(addr uint32) error {
+	n, ok := h.used[addr]
+	if !ok {
+		return fmt.Errorf("alloc: free of unallocated address %#x", addr)
+	}
+	delete(h.used, addr)
+	h.Frees++
+	// Insert in address order.
+	lo, hi := 0, len(h.free)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.free[mid].addr < addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.free = append(h.free, block{})
+	copy(h.free[lo+1:], h.free[lo:])
+	h.free[lo] = block{addr: addr, size: n}
+	// Coalesce with successor.
+	if lo+1 < len(h.free) && h.free[lo].addr+h.free[lo].size == h.free[lo+1].addr {
+		h.free[lo].size += h.free[lo+1].size
+		h.free = append(h.free[:lo+1], h.free[lo+2:]...)
+	}
+	// Coalesce with predecessor.
+	if lo > 0 && h.free[lo-1].addr+h.free[lo-1].size == h.free[lo].addr {
+		h.free[lo-1].size += h.free[lo].size
+		h.free = append(h.free[:lo], h.free[lo+1:]...)
+	}
+	return nil
+}
+
+// SizeOf returns the allocated size of a live block.
+func (h *Heap) SizeOf(addr uint32) (uint32, bool) {
+	n, ok := h.used[addr]
+	return n, ok
+}

@@ -1,0 +1,177 @@
+package alloc_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"synthesis/internal/alloc"
+)
+
+func TestAllocBasic(t *testing.T) {
+	h := alloc.New(0x1000, 0x1000)
+	a, err := h.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a < 0x1000 || a >= 0x2000 {
+		t.Errorf("block %#x outside arena", a)
+	}
+	if a%alloc.Align != 0 {
+		t.Errorf("block %#x not aligned", a)
+	}
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if h.FreeBytes() != 0x1000 {
+		t.Errorf("free bytes = %#x after full free, want 0x1000", h.FreeBytes())
+	}
+	if h.FreeBlocks() != 1 {
+		t.Errorf("free blocks = %d, want 1 (coalesced)", h.FreeBlocks())
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	h := alloc.New(0, 256)
+	var got []uint32
+	for {
+		a, err := h.Alloc(64)
+		if err != nil {
+			break
+		}
+		got = append(got, a)
+	}
+	if len(got) != 4 {
+		t.Errorf("allocated %d blocks of 64 from 256 bytes, want 4", len(got))
+	}
+	if _, err := h.Alloc(1); err == nil {
+		t.Error("allocation from exhausted heap succeeded")
+	}
+	for _, a := range got {
+		if err := h.Free(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a, err := h.Alloc(256); err != nil || a != 0 {
+		t.Errorf("full-arena alloc after frees = (%#x, %v)", a, err)
+	}
+}
+
+func TestDoubleFreeRejected(t *testing.T) {
+	h := alloc.New(0, 1024)
+	a, _ := h.Alloc(16)
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(a); err == nil {
+		t.Error("double free accepted")
+	}
+	if err := h.Free(0xdead0); err == nil {
+		t.Error("free of wild pointer accepted")
+	}
+}
+
+func TestNoOverlapProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := alloc.New(0x2000, 64*1024)
+		live := make(map[uint32]uint32)
+		for op := 0; op < 500; op++ {
+			if rng.Intn(3) != 0 || len(live) == 0 {
+				n := uint32(rng.Intn(1024) + 1)
+				a, err := h.Alloc(n)
+				if err != nil {
+					continue
+				}
+				// Overlap check against every live block.
+				sz, _ := h.SizeOf(a)
+				for b, bn := range live {
+					if a < b+bn && b < a+sz {
+						t.Logf("seed %d: block [%#x,%#x) overlaps [%#x,%#x)", seed, a, a+sz, b, b+bn)
+						return false
+					}
+				}
+				if a < 0x2000 || a+sz > 0x2000+64*1024 {
+					t.Logf("seed %d: block [%#x,%#x) outside arena", seed, a, a+sz)
+					return false
+				}
+				live[a] = sz
+			} else {
+				for a := range live {
+					if err := h.Free(a); err != nil {
+						t.Logf("seed %d: free failed: %v", seed, err)
+						return false
+					}
+					delete(live, a)
+					break
+				}
+			}
+		}
+		// Conservation: free + live == arena.
+		var liveBytes uint32
+		for _, n := range live {
+			liveBytes += n
+		}
+		if h.FreeBytes()+liveBytes != 64*1024 {
+			t.Logf("seed %d: leak: free %d + live %d != %d", seed, h.FreeBytes(), liveBytes, 64*1024)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalescingRestoresArena(t *testing.T) {
+	h := alloc.New(0, 4096)
+	var blocks []uint32
+	for i := 0; i < 16; i++ {
+		a, err := h.Alloc(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, a)
+	}
+	// Free in a scrambled order; the result must still coalesce to
+	// one block.
+	order := []int{3, 9, 1, 15, 0, 7, 12, 5, 11, 2, 8, 14, 4, 10, 6, 13}
+	for _, i := range order {
+		if err := h.Free(blocks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.FreeBlocks() != 1 {
+		t.Errorf("free blocks = %d after freeing everything, want 1", h.FreeBlocks())
+	}
+}
+
+func TestRandomizedTraversalSpreads(t *testing.T) {
+	// With randomized traversal, freeing one early block and one late
+	// block then allocating twice should not always pick the earliest
+	// block first. Rather than depend on the PRNG, just verify the
+	// allocator remains correct and that stats advance.
+	h := alloc.New(0, 1<<20)
+	var addrs []uint32
+	for i := 0; i < 100; i++ {
+		a, err := h.Alloc(1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	for i := 0; i < 100; i += 2 {
+		h.Free(addrs[i])
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := h.Alloc(900); err != nil {
+			t.Fatalf("alloc %d failed: %v", i, err)
+		}
+	}
+	if h.Allocs != 140 || h.Frees != 50 {
+		t.Errorf("stats: %d allocs, %d frees", h.Allocs, h.Frees)
+	}
+	if h.Searched == 0 {
+		t.Error("search statistics did not advance")
+	}
+}

@@ -1,0 +1,250 @@
+package bench
+
+import "testing"
+
+// The table runners are exercised with shape assertions: the paper's
+// reproducible claims are orderings and ratios, so that is what the
+// tests pin down. (Exact values are deterministic on the simulator; we
+// assert ranges so honest cost-model recalibration does not break the
+// suite.)
+
+func row(t *testing.T, tab Table, name string) Row {
+	t.Helper()
+	for _, r := range tab.Rows {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("table %q has no row %q", tab.Title, name)
+	return Row{}
+}
+
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tab, err := Table1(Table1Config{Iters: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.String())
+
+	// The calibration program must be at parity: same binary, same
+	// machine; Synthesis pays only its quantum interrupts.
+	c := row(t, tab, "compute (speedup sun/synthesis)")
+	if c.Measured < 0.90 || c.Measured > 1.05 {
+		t.Errorf("compute ratio = %.2f, want ~1 (hardware emulation parity)", c.Measured)
+	}
+	// Synthesis must win every I/O program.
+	for _, name := range []string{
+		"pipe r/w 1 B (speedup sun/synthesis)",
+		"pipe r/w 1 KB (speedup sun/synthesis)",
+		"pipe r/w 4 KB (speedup sun/synthesis)",
+		"file r/w 1 KB (speedup sun/synthesis)",
+		"open-close null (speedup sun/synthesis)",
+		"open-close tty (speedup sun/synthesis)",
+	} {
+		r := row(t, tab, name)
+		if r.Measured <= 1.0 {
+			t.Errorf("%s = %.2fx: Synthesis did not win", name, r.Measured)
+		}
+	}
+	// The single-byte pipe should show a solid multiple.
+	if r := row(t, tab, "pipe r/w 1 B (speedup sun/synthesis)"); r.Measured < 2.5 {
+		t.Errorf("1-byte pipe speedup = %.2fx, want >= 2.5x", r.Measured)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tab, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.String())
+
+	overhead := row(t, tab, "emulation trap overhead")
+	if overhead.Measured <= 0 || overhead.Measured > 8 {
+		t.Errorf("emulation overhead = %.2f usec, want (0, 8]", overhead.Measured)
+	}
+	null := row(t, tab, "open /dev/null").Measured
+	tty := row(t, tab, "open /dev/tty").Measured
+	file := row(t, tab, "open file").Measured
+	if !(null < tty && tty < file) {
+		t.Errorf("open ordering broken: null %.1f, tty %.1f, file %.1f", null, tty, file)
+	}
+	// Opens are tens of microseconds, not hundreds (the paper's
+	// decade).
+	if null < 20 || null > 150 {
+		t.Errorf("open null = %.1f usec, want the paper's decade (43)", null)
+	}
+	if r := row(t, tab, "read N from /dev/null"); r.Measured > 12 {
+		t.Errorf("null read = %.1f usec, want constant-time stub cost", r.Measured)
+	}
+	// Bulk reads amortize: per-8-chars figure far below the 1-char
+	// read.
+	one := row(t, tab, "read 1 char from file").Measured
+	per8 := row(t, tab, "read N chars from file (per 8 chars)").Measured
+	if per8 >= one {
+		t.Errorf("bulk read (%.2f usec/8B) not cheaper than 1-char read (%.2f usec)", per8, one)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tab, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.String())
+
+	create := row(t, tab, "create").Measured
+	if create < 80 || create > 400 {
+		t.Errorf("create = %.1f usec, want the paper's decade (142)", create)
+	}
+	// Everything else is tens of microseconds.
+	for _, name := range []string{"destroy", "stop", "start", "step", "signal"} {
+		r := row(t, tab, name)
+		if r.Measured <= 0 || r.Measured > 60 {
+			t.Errorf("%s = %.1f usec, want (0, 60]", name, r.Measured)
+		}
+		if r.Measured >= create {
+			t.Errorf("%s (%.1f) not cheaper than create (%.1f)", name, r.Measured, create)
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	tab, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.String())
+
+	full := row(t, tab, "full context switch").Measured
+	fp := row(t, tab, "full context switch (FP registers)").Measured
+	partial := row(t, tab, "partial context switch").Measured
+	if full < 5 || full > 40 {
+		t.Errorf("full switch = %.1f usec, want the paper's decade (11)", full)
+	}
+	if fp <= full {
+		t.Errorf("FP switch (%.1f) not more expensive than integer switch (%.1f)", fp, full)
+	}
+	if partial >= full {
+		t.Errorf("partial switch (%.1f) not cheaper than full (%.1f)", partial, full)
+	}
+	if b := row(t, tab, "block thread").Measured; b >= full {
+		t.Errorf("block (%.1f) should cost less than a full switch (%.1f)", b, full)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	tab, err := Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.String())
+
+	for _, name := range []string{
+		"service raw TTY interrupt", "service raw A/D interrupt",
+		"set alarm", "alarm interrupt",
+		"chain to a procedure", "chain to a procedure (CAS)",
+		"chain (signal) a thread",
+	} {
+		r := row(t, tab, name)
+		if r.Measured <= 0 || r.Measured > 40 {
+			t.Errorf("%s = %.1f usec, want (0, 40]", name, r.Measured)
+		}
+	}
+	// The A/D fast path must be cheaper than the tty handler (no
+	// queue-index juggling on 7 of 8 samples).
+	ad := row(t, tab, "service raw A/D interrupt").Measured
+	tty := row(t, tab, "service raw TTY interrupt").Measured
+	if ad >= tty {
+		t.Errorf("A/D handler (%.1f) not cheaper than tty handler (%.1f)", ad, tty)
+	}
+	// Plain chaining is the cheapest operation in the table.
+	if ch := row(t, tab, "chain to a procedure").Measured; ch > 8 {
+		t.Errorf("procedure chaining = %.1f usec, want a few usec", ch)
+	}
+}
+
+func TestSizeTableShape(t *testing.T) {
+	tab, err := SizeTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.String())
+	static := row(t, tab, "static kernel (boot-time synthesized code)").Measured
+	if static <= 0 {
+		t.Error("no boot-time synthesized code accounted")
+	}
+	null := row(t, tab, "per-open /dev/null").Measured
+	file := row(t, tab, "per-open file").Measured
+	if !(null < file) {
+		t.Errorf("per-open sizes: null %.0f should be < file %.0f", null, file)
+	}
+	if file > 2048 {
+		t.Errorf("per-open file synthesized %.0f bytes: marginal cost should be small", file)
+	}
+}
+
+func TestAblationsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tab, err := Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.String())
+
+	pairs := [][2]string{
+		{"read 1 KB: synthesized (Synthesis)", "read 1 KB: generic layers (baseline)"},
+		{"context switch: executable ready queue", "context switch: traditional swtch()"},
+		{"switch without FP context (lazy default)", "switch with FP context (post-upgrade)"},
+		{"A/D interrupt: buffered queue (factor 8)", "A/D interrupt: unbuffered (factor 1)"},
+		{"cooked tty read: collapsed layers", "cooked tty read: layered"},
+		{"32 B element put, invariants folded + optimized", "32 B element put, cell-bound + unoptimized"},
+		{"64 KB pipe transfer, fine-grain scheduling", "64 KB pipe transfer, fixed quanta"},
+	}
+	for _, p := range pairs {
+		with := row(t, tab, p[0]).Measured
+		without := row(t, tab, p[1]).Measured
+		if with >= without {
+			t.Errorf("ablation %q (%.2f) not cheaper than %q (%.2f)", p[0], with, p[1], without)
+		}
+	}
+	// The two big wins must be multiples, not margins.
+	synth := row(t, tab, "read 1 KB: synthesized (Synthesis)").Measured
+	generic := row(t, tab, "read 1 KB: generic layers (baseline)").Measured
+	if generic/synth < 2 {
+		t.Errorf("synthesis win on 1 KB read = %.1fx, want >= 2x", generic/synth)
+	}
+	sw := row(t, tab, "context switch: executable ready queue").Measured
+	swt := row(t, tab, "context switch: traditional swtch()").Measured
+	if swt/sw < 3 {
+		t.Errorf("ready-queue win = %.1fx, want >= 3x", swt/sw)
+	}
+}
+
+func TestFigure2PathLengths(t *testing.T) {
+	tab, err := PathLengths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.String())
+	ok := row(t, tab, "Q_put, no interference").Measured
+	retry := row(t, tab, "Q_put, one CAS retry").Measured
+	if ok < 9 || ok > 16 {
+		t.Errorf("uncontended put = %.0f instructions, paper says 11", ok)
+	}
+	if retry <= ok {
+		t.Errorf("retry path (%.0f) not longer than the normal path (%.0f)", retry, ok)
+	}
+	if retry-ok < 4 || retry-ok > 12 {
+		t.Errorf("retry overhead = %.0f instructions, paper implies ~9", retry-ok)
+	}
+	batch := row(t, tab, "Q_put, 8-item atomic batch").Measured
+	if batch/8 >= ok {
+		t.Errorf("batch insert %.1f instr/item not cheaper than single put (%.0f)", batch/8, ok)
+	}
+}

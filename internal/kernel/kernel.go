@@ -1,0 +1,453 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"synthesis/internal/alloc"
+	"synthesis/internal/fs"
+	"synthesis/internal/m68k"
+	"synthesis/internal/synth"
+)
+
+// Kernel is one booted Synthesis kernel instance on a Quamachine.
+type Kernel struct {
+	M    *m68k.Machine
+	C    *synth.Creator
+	Heap *alloc.Heap
+	FS   *fs.FS
+
+	Timer *m68k.Timer
+	TTY   *m68k.TTY
+	Disk  *m68k.Disk
+	AD    *m68k.AD
+	Cons  *m68k.Cons
+
+	// Shared kernel routines (code addresses), synthesized at boot.
+	rtUnlink    uint32 // a0 = TTE: remove from ready ring
+	rtInsert    uint32 // a0 = TTE: insert after current (front of queue)
+	rtBlockOn   uint32 // a0 = wait cell: park current thread on it
+	rtWakeCell  uint32 // a0 = wait cell: unblock the waiter, if any
+	rtChain     uint32 // d1 = proc: procedure chaining (plain)
+	rtChainCAS  uint32 // d1 = proc: procedure chaining with CAS retry
+	rtLeave     uint32 // remove current from the ring, idle steps in if empty
+	rtSysDisp   uint32 // trap #1 dispatcher
+	rtTraceStop uint32 // trace-bit handler implementing step
+	rtAlarm     uint32 // shared alarm interrupt handler
+	rtSigRet    uint32 // trap #3: return from signal
+	rtErrTrap   uint32 // error trap: reflect into a user-mode error signal
+	rtPanicVec  uint32 // catch-all for unexpected exceptions
+	rtLookup    uint32 // d1 = name ptr: hashed-backwards directory walk
+	rtCreate    uint32 // kcreate: TTE fill + registration
+	rtLineF     uint32 // first-FP-use trap: resynthesize the switch
+	protoVec    uint32 // prototype vector table copied into new TTEs
+
+	// Thread bookkeeping mirrors (Go side).
+	Threads map[uint32]*Thread // keyed by TTE address
+	Idle    *Thread
+
+	// Marks records KCALL SvcMark timestamps for measurements.
+	Marks []uint64
+
+	// PanicMsg is set when the panic service fires.
+	PanicMsg string
+
+	// OpenHook lets the I/O layer (kio package) implement the open
+	// bookkeeping + code synthesis. Wired by kio.Install.
+	OpenHook func(k *Kernel, t *Thread, name string) (fd int32, ok bool)
+	// CloseHook tears an fd down.
+	CloseHook func(k *Kernel, t *Thread, fd int32) bool
+	// PipeHook creates a pipe and returns its two descriptors.
+	PipeHook func(k *Kernel, t *Thread) (rfd, wfd int32, ok bool)
+}
+
+// Thread is the Go-side mirror of a TTE (bookkeeping only; all thread
+// state that the machine touches lives in the TTE itself).
+type Thread struct {
+	TTE      uint32
+	Name     string
+	Q        *synth.Quaject // per-thread synthesized routines
+	CodeBase uint32         // preallocated code region for resynthesis
+	CodeSize int
+	KStack   uint32 // top of kernel stack
+	UsesFP   bool
+	Linked   bool // in the ready ring (mirror; the ring itself is in VM memory)
+	Dead     bool
+	FDs      [MaxFD]FDInfo
+}
+
+// FDInfo mirrors what open installed in a descriptor slot.
+type FDInfo struct {
+	Kind string // "", "null", "tty", "file", "pipe-r", "pipe-w", "ad"
+	File string // file name for kind "file"
+	Aux  uint32 // queue address and the like
+}
+
+// SvcMark is the measurement service id: kcall #SvcMark records the
+// current cycle count (the Quamachine's microsecond-resolution
+// interval timer read, Section 6.1).
+const SvcMark = 100
+
+// kstackSize is the per-thread kernel stack, allocated contiguously
+// after the TTE.
+const kstackSize = 512
+
+// Config bundles boot options.
+type Config struct {
+	Machine m68k.Config
+	// ChargeSynthesis makes post-boot code synthesis consume machine
+	// time per the cost model (on for measurements; boot-time
+	// synthesis is never charged).
+	ChargeSynthesis bool
+	// DiskBlocks sizes the disk (default 512 blocks).
+	DiskBlocks int
+}
+
+// Boot creates a machine, devices, heap and file system, synthesizes
+// the shared kernel routines, creates the idle thread and leaves the
+// machine ready to Run.
+func Boot(cfg Config) *Kernel {
+	if cfg.Machine.MemSize == 0 {
+		cfg.Machine.MemSize = 4 << 20
+	}
+	if cfg.DiskBlocks == 0 {
+		cfg.DiskBlocks = 512
+	}
+	m := m68k.New(cfg.Machine)
+	k := &Kernel{
+		M:       m,
+		C:       synth.NewCreator(m),
+		Threads: make(map[uint32]*Thread),
+	}
+	k.Heap = alloc.New(HeapBase, cfg.Machine.MemSize-HeapBase)
+	k.Timer = m68k.NewTimer(m)
+	k.TTY = m68k.NewTTY(m)
+	k.Disk = m68k.NewDisk(m, cfg.DiskBlocks)
+	k.AD = m68k.NewAD(m)
+	k.Cons = m68k.NewCons()
+	m.Attach(k.Timer)
+	m.Attach(k.TTY)
+	m.Attach(k.Disk)
+	m.Attach(k.AD)
+	m.Attach(k.Cons)
+
+	k.FS = fs.New(m, k.Heap)
+
+	k.registerServices()
+	k.synthesizeShared()
+	k.buildBootVectors()
+
+	// The idle thread parks the CPU waiting for interrupts. It joins
+	// the ready ring only when the ring would otherwise empty (the
+	// leave-ring paths insert it), and it removes itself as soon as
+	// any other thread becomes runnable, so runnable threads never
+	// donate quanta to it.
+	k.Idle = k.newThread("idle", 0, 0, true)
+	m.Poke(GIdleTTE, 4, k.Idle.TTE)
+	idleEntry := k.C.Synthesize(nil, "idle", nil, func(e *synth.Emitter) {
+		e.Label("loop")
+		// Alone in the ring? (next == self)
+		e.MoveL(m68k.Abs(GIdleTTE), m68k.A(0))
+		e.Cmp(4, m68k.Disp(TTENext, 0), m68k.A(0))
+		e.Bne("leave")
+		e.Stop(m68k.FlagS) // wait for any interrupt, then re-check
+		e.Bra("loop")
+		e.Label("leave")
+		// Someone else is runnable: step out of their way.
+		e.Jsr(k.rtUnlink)
+		e.Trap(TrapSwitch) // re-entered here when re-inserted
+		e.Bra("loop")
+	})
+	k.setEntry(k.Idle, idleEntry, 0, m68k.FlagS)
+	k.linkFirst(k.Idle)
+
+	// Post-boot synthesis is charged to the machine clock if asked.
+	k.C.ChargeTime = cfg.ChargeSynthesis
+	return k
+}
+
+// alloc grabs kernel heap memory or panics: boot-time exhaustion is a
+// configuration error, not a runtime condition.
+func (k *Kernel) alloc(n uint32) uint32 {
+	a, err := k.Heap.Alloc(n)
+	if err != nil {
+		panic(fmt.Sprintf("kernel: heap exhausted allocating %d bytes", n))
+	}
+	return a
+}
+
+// Poke/Peek helpers for globals.
+func (k *Kernel) g(addr uint32) uint32 { return k.M.Peek(addr, 4) }
+func (k *Kernel) setg(addr, v uint32)  { k.M.Poke(addr, 4, v) }
+
+// Routine addresses exposed for the I/O layer and tests.
+
+// UnlinkRoutine returns the ready-ring unlink routine (A0 = TTE).
+func (k *Kernel) UnlinkRoutine() uint32 { return k.rtUnlink }
+
+// InsertRoutine returns the ready-ring insert routine (A0 = TTE).
+func (k *Kernel) InsertRoutine() uint32 { return k.rtInsert }
+
+// LeaveRingRoutine returns the self-removal routine (current thread
+// steps out; idle steps in when the ring would empty).
+func (k *Kernel) LeaveRingRoutine() uint32 { return k.rtLeave }
+
+// BlockOnRoutine returns the wait-cell park routine (A0 = cell).
+func (k *Kernel) BlockOnRoutine() uint32 { return k.rtBlockOn }
+
+// WakeCellRoutine returns the wait-cell wake routine (A0 = cell).
+func (k *Kernel) WakeCellRoutine() uint32 { return k.rtWakeCell }
+
+// ChainRoutine returns the procedure-chaining routine (D1 = proc).
+func (k *Kernel) ChainRoutine() uint32 { return k.rtChain }
+
+// ChainCASRoutine returns the optimistic chaining routine.
+func (k *Kernel) ChainCASRoutine() uint32 { return k.rtChainCAS }
+
+// LookupRoutine returns the hashed-backwards name lookup (D1 = name).
+func (k *Kernel) LookupRoutine() uint32 { return k.rtLookup }
+
+// PanicRoutine returns the catch-all exception stub.
+func (k *Kernel) PanicRoutine() uint32 { return k.rtPanicVec }
+
+// DispatchRoutine returns the native system-call dispatcher (the
+// UNIX emulator tail-jumps into it).
+func (k *Kernel) DispatchRoutine() uint32 { return k.rtSysDisp }
+
+// AlarmRoutine returns the shared alarm interrupt handler.
+func (k *Kernel) AlarmRoutine() uint32 { return k.rtAlarm }
+
+// ProtoVectors returns the prototype vector table address; the I/O
+// layer pokes its interrupt handlers into it (and into live TTEs)
+// before threads are created.
+func (k *Kernel) ProtoVectors() uint32 { return k.protoVec }
+
+// SpawnKernel creates a kernel-mode thread running the given code
+// address, links it into the ready ring and counts it live.
+func (k *Kernel) SpawnKernel(name string, entry uint32) *Thread {
+	t := k.newThread(name, 0, 0, true)
+	k.setEntry(t, entry, 0, m68k.FlagS)
+	k.Link(t, k.Idle)
+	k.setg(GLiveThreads, k.g(GLiveThreads)+1)
+	return t
+}
+
+// SpawnKernelStopped creates a kernel-mode thread that is NOT linked
+// into the ready ring: it runs only when started (or stepped). It
+// does not count toward the live-thread total (the simulation may
+// halt while it is parked).
+func (k *Kernel) SpawnKernelStopped(name string, entry uint32) *Thread {
+	t := k.newThread(name, 0, 0, true)
+	k.setEntry(t, entry, 0, m68k.FlagS)
+	return t
+}
+
+// SpawnUser creates a user-mode thread confined to the quaspace
+// [ubase, ulimit), with its user stack at the top of that region,
+// links it and counts it live.
+func (k *Kernel) SpawnUser(name string, entry, ubase, ulimit uint32) *Thread {
+	t := k.newThread(name, ubase, ulimit, false)
+	k.setEntry(t, entry, ulimit-16, 0)
+	k.Link(t, k.Idle)
+	k.setg(GLiveThreads, k.g(GLiveThreads)+1)
+	return t
+}
+
+// AllocUserSpace carves a fresh quaspace out of the kernel heap and
+// returns its bounds.
+func (k *Kernel) AllocUserSpace(size uint32) (ubase, ulimit uint32) {
+	a := k.alloc(size)
+	return a, a + size
+}
+
+// CurTTE returns the running thread's TTE address.
+func (k *Kernel) CurTTE() uint32 { return k.g(GCurTTE) }
+
+// Cur returns the running thread's mirror.
+func (k *Kernel) Cur() *Thread { return k.Threads[k.CurTTE()] }
+
+// buildBootVectors points every boot vector at the panic stub.
+func (k *Kernel) buildBootVectors() {
+	k.M.VBR = BootVBR
+	for v := 0; v < m68k.NumVectors; v++ {
+		k.M.Poke(BootVBR+uint32(v)*4, 4, k.rtPanicVec)
+	}
+}
+
+// ErrPanic is returned by Run when the kernel hit the panic service.
+var ErrPanic = errors.New("kernel: panic")
+
+// Run executes the machine until it halts (all user threads exited),
+// the cycle budget runs out, or the kernel panics.
+func (k *Kernel) Run(maxCycles uint64) error {
+	err := k.M.Run(maxCycles)
+	if k.PanicMsg != "" {
+		return fmt.Errorf("%w: %s", ErrPanic, k.PanicMsg)
+	}
+	if errors.Is(err, m68k.ErrHalted) {
+		return nil
+	}
+	return err
+}
+
+// Start makes the first real thread current and begins execution at
+// its entry: the boot handoff. The thread must already be linked.
+func (k *Kernel) Start(t *Thread) {
+	m := k.M
+	m.Poke(GCurTTE, 4, t.TTE)
+	// Adopt the thread's context directly: vector base, stacks,
+	// quantum, then jump to a tiny trampoline that RTEs into it.
+	fpTrap := int32(1)
+	if t.UsesFP {
+		fpTrap = 0
+	}
+	tramp := k.C.Synthesize(nil, "boot-handoff", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.Imm(int32(t.TTE+TTEVec)), m68k.D(0))
+		e.MovecTo(m68k.CtrlVBR, m68k.D(0))
+		e.MovecTo(m68k.CtrlFPTrap, m68k.Imm(fpTrap))
+		e.MovecTo(m68k.CtrlUBase, m68k.Abs(t.TTE+TTEUBase))
+		e.MovecTo(m68k.CtrlULimit, m68k.Abs(t.TTE+TTEULimit))
+		e.MoveL(m68k.Abs(t.TTE+TTEUSP), m68k.D(0))
+		e.MovecTo(m68k.CtrlUSP, m68k.D(0))
+		e.MoveL(m68k.Abs(t.TTE+TTEQuantum), m68k.Abs(m68k.TimerBase+m68k.TimerRegQuantum))
+		e.MoveL(m68k.Abs(t.TTE+TTESSP), m68k.A(7))
+		e.Rte()
+	})
+	m.PC = tramp
+	// The handoff runs fully masked — the machine has no valid stack
+	// until the trampoline loads the thread's SSP; the RTE into the
+	// thread restores its own interrupt level.
+	m.SR = m68k.FlagS | 7<<8
+}
+
+// registerServices installs the KCALL host services.
+func (k *Kernel) registerServices() {
+	m := k.M
+	m.RegisterService(SvcPanic, func(mm *m68k.Machine) uint64 {
+		k.PanicMsg = fmt.Sprintf("unhandled exception, D0=%#x PC=%d cur=%#x",
+			mm.D[0], mm.PC, k.CurTTE())
+		mm.Code[mm.PC] = m68k.Instr{Op: m68k.HALT} // stop right here
+		return 0
+	})
+	m.RegisterService(SvcMark, func(mm *m68k.Machine) uint64 {
+		k.Marks = append(k.Marks, mm.Cycles)
+		return 0
+	})
+	m.RegisterService(SvcExit, func(mm *m68k.Machine) uint64 {
+		t := k.Cur()
+		if t != nil {
+			t.Dead = true
+			t.Linked = false
+		}
+		live := k.g(GLiveThreads)
+		if live > 0 {
+			live--
+			k.setg(GLiveThreads, live)
+		}
+		return 0
+	})
+	m.RegisterService(SvcAllocTTE, func(mm *m68k.Machine) uint64 {
+		// Allocate TTE + kernel stack; return TTE in D0 and the
+		// prototype... the caller's VM code does the filling.
+		addr := k.alloc(TTESize + kstackSize)
+		mm.D[0] = addr
+		return 40 // modeled allocator path cost
+	})
+	m.RegisterService(SvcRegister, func(mm *m68k.Machine) uint64 {
+		// D0 = TTE address, D1 = entry PC, D2 = user stack top.
+		t := k.finishCreate(mm.D[0], mm.D[1], mm.D[2])
+		_ = t
+		return 0
+	})
+	m.RegisterService(SvcFreeTTE, func(mm *m68k.Machine) uint64 {
+		tte := mm.D[1]
+		if t, ok := k.Threads[tte]; ok {
+			t.Dead = true
+			t.Linked = false
+			delete(k.Threads, tte)
+			// The TTE memory is reclaimed; its code region is not
+			// reused (code space is plentiful and the paper's kernel
+			// also leaks synthesized code on destroy).
+			k.Heap.Free(tte)
+		}
+		return 30
+	})
+	m.RegisterService(SvcFPResynth, func(mm *m68k.Machine) uint64 {
+		k.resynthesizeFP(k.Cur())
+		return 0
+	})
+	m.RegisterService(SvcTrace, func(mm *m68k.Machine) uint64 {
+		if t := k.Cur(); t != nil {
+			t.Linked = false
+		}
+		return 0
+	})
+	m.RegisterService(SvcOpen, func(mm *m68k.Machine) uint64 {
+		// D1 = name pointer in the caller's quaspace. The VM side
+		// already paid for the name lookup; this service does fd
+		// bookkeeping and (charged) code synthesis.
+		t := k.Cur()
+		name := k.readCString(mm.D[1])
+		if k.OpenHook == nil {
+			mm.D[0] = ^uint32(0)
+			return 0
+		}
+		fd, ok := k.OpenHook(k, t, name)
+		if !ok {
+			mm.D[0] = ^uint32(0)
+			return 0
+		}
+		mm.D[0] = uint32(fd)
+		return 0
+	})
+	m.RegisterService(SvcClose, func(mm *m68k.Machine) uint64 {
+		t := k.Cur()
+		if k.CloseHook == nil || !k.CloseHook(k, t, int32(mm.D[1])) {
+			mm.D[0] = ^uint32(0)
+			return 0
+		}
+		mm.D[0] = 0
+		return 20
+	})
+	m.RegisterService(SvcPipe, func(mm *m68k.Machine) uint64 {
+		t := k.Cur()
+		if k.PipeHook == nil {
+			mm.D[0] = ^uint32(0)
+			return 0
+		}
+		rfd, wfd, ok := k.PipeHook(k, t)
+		if !ok {
+			mm.D[0] = ^uint32(0)
+			return 0
+		}
+		mm.D[0] = uint32(rfd)
+		mm.D[1] = uint32(wfd)
+		return 0
+	})
+}
+
+// readCString reads a NUL-terminated string from machine memory.
+func (k *Kernel) readCString(addr uint32) string {
+	var out []byte
+	for i := uint32(0); i < 256; i++ {
+		c := byte(k.M.Peek(addr+i, 1))
+		if c == 0 {
+			break
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// MarkDeltasMicros converts consecutive mark pairs into microsecond
+// intervals.
+func (k *Kernel) MarkDeltasMicros() []float64 {
+	var out []float64
+	for i := 1; i < len(k.Marks); i += 2 {
+		out = append(out, k.M.Micros(k.Marks[i]-k.Marks[i-1]))
+	}
+	return out
+}
+
+// ResetMarks clears recorded marks.
+func (k *Kernel) ResetMarks() { k.Marks = nil }

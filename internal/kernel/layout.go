@@ -1,0 +1,152 @@
+// Package kernel implements the Synthesis kernel on the Quamachine:
+// threads described entirely by their Thread Table Entries (TTEs),
+// per-thread synthesized context-switch and system-call routines, the
+// executable ready queue of Figure 3, signals and procedure chaining,
+// error traps, and the fine-grain round-robin scheduler with
+// I/O-rate-adaptive quanta.
+//
+// Division of labour (DESIGN.md Section 4): every path the paper
+// times — context switches, thread operations, traps, interrupt
+// handlers, synthesized I/O — executes as Quamachine code and is
+// measured on the machine's cycle clock. Kernel bookkeeping that the
+// paper does not time (allocator metadata, quaject records) runs in
+// Go behind KCALL services; the code synthesizer's own run time is
+// charged by the model in synth/cost.go.
+package kernel
+
+// Kernel memory map. The boot vector table and kernel globals sit at
+// the bottom of memory; everything else (TTEs, stacks, queue buffers,
+// file data, quaspaces) comes from the fast-fit heap.
+const (
+	// BootVBR is the boot vector table used until the first thread
+	// runs (threads then carry their own tables).
+	BootVBR uint32 = 0x0000_0100
+
+	// Kernel global cells.
+	GlobalsBase uint32 = 0x0000_0600
+
+	// GCurTTE holds the TTE address of the running thread, stored by
+	// each thread's sw_in with a folded constant (Code Isolation:
+	// only the running thread writes it).
+	GCurTTE = GlobalsBase + 0
+
+	// GAlarmProc is the procedure the shared alarm interrupt handler
+	// dispatches to (set by the set-alarm call).
+	GAlarmProc = GlobalsBase + 4
+
+	// GLiveThreads counts runnable user threads; the exit path
+	// decrements it and halts the machine at zero (simulation
+	// control, not a paper mechanism).
+	GLiveThreads = GlobalsBase + 8
+
+	// GIdleTTE holds the idle thread's TTE address.
+	GIdleTTE = GlobalsBase + 12
+
+	// GChainPC holds the displaced resume address during procedure
+	// chaining; the chained procedure's epilogue jumps through it.
+	GChainPC = GlobalsBase + 16
+
+	// HeapBase is where the kernel heap begins.
+	HeapBase uint32 = 0x0001_0000
+)
+
+// TTE layout (Figure 3). The thread state is completely described by
+// its TTE: the register save area, the vector table pointing at the
+// thread's own interrupt handlers / error traps / system calls, the
+// address-map (quaspace bounds), and the context-switch-in/out
+// procedures (which live in code space; the TTE holds their
+// addresses). One TTE occupies TTESize bytes — the "approximately
+// 1 KBytes" Section 6.3 says thread creation fills.
+const (
+	TTEReg     = 0   // D0-D7, A0-A6: 15 longs (A7 is saved separately)
+	TTESSP     = 60  // saved supervisor stack pointer (the exception frame lives there)
+	TTEUSP     = 64  // saved user stack pointer
+	TTEVec     = 128 // the thread's vector table (NumVectors * 4 = 256 bytes)
+	TTENext    = 384 // ready-queue link: next TTE address
+	TTEPrev    = 388 // ready-queue link: previous TTE address
+	TTENextSw  = 392 // code address of the NEXT thread's sw_in: the cell sw_out jumps through
+	TTEQuantum = 396 // CPU quantum in cycles (fine-grain scheduling adjusts it)
+	TTEUBase   = 400 // quaspace lower bound
+	TTEULimit  = 404 // quaspace upper bound
+	TTEFP      = 408 // FP register save area: 8 slots x 12 bytes
+	TTEFlags   = 504 // bit0: thread uses the FP co-processor
+	TTEIOGauge = 508 // I/O event count for the fine-grain scheduler
+	TTESigPC   = 512 // pending signal handler entry (0 = none)
+	TTESigOld  = 516 // interrupted PC stashed for the signal handler
+	TTESwinPtr = 520 // code address of this thread's own sw_in (no quaspace change)
+	TTESwoutPt = 524 // code address of this thread's own sw_out
+	TTEWaitsOn = 528 // wait-queue cell address this thread is blocked on (0 = runnable)
+	TTESwinMMU = 532 // code address of this thread's sw_in.mmu entry
+	TTEErrPC   = 536 // user-mode error signal handler (0 = none: panic)
+	TTEFDBase  = 544 // per-descriptor state: MaxFD slots x FDSlotSize bytes
+	TTEScratch = 928 // per-thread scratch (signal trampolines, chaining)
+	TTESize    = 1024
+)
+
+// TTEFlagFP marks a thread as using the floating-point co-processor;
+// set by the line-F trap, it makes the resynthesized switch code save
+// and restore FP state.
+const TTEFlagFP = 1 << 0
+
+// File descriptor table shape inside the TTE.
+const (
+	MaxFD      = 12
+	FDSlotSize = 32
+	// Offsets within one fd slot.
+	FDPos   = 0  // current file position / queue cursor
+	FDAux   = 4  // type-specific cell (queue address, size cache...)
+	FDGauge = 8  // per-stream I/O gauge
+	FDKind  = 12 // host-side bookkeeping mirror (written by Go only)
+)
+
+// FDCell returns the address of field off in fd's slot of the TTE at
+// tte.
+func FDCell(tte uint32, fd, off int) uint32 {
+	return tte + TTEFDBase + uint32(fd*FDSlotSize+off)
+}
+
+// Trap assignments (vector = 32 + trap number; each thread's vector
+// table routes them independently).
+const (
+	TrapUnix   = 0 // UNIX emulator gate (unixemu package)
+	TrapSys    = 1 // native Synthesis kernel calls, function in D0
+	TrapSwitch = 2 // voluntary context switch: vectors to the thread's sw_out
+	TrapSig    = 3 // return-from-signal trampoline
+	// Per-descriptor synthesized I/O: read fd = trap 8+fd, write fd =
+	// trap 20+fd ("I/O operations such as read and write are
+	// synthesized by the open operation" and installed in the
+	// thread's system call vectors).
+	TrapRead  = 8
+	TrapWrite = 20
+)
+
+// Native TrapSys function codes (D0).
+const (
+	SysOpen     = 0  // D1 = name pointer -> D0 = fd or ^0
+	SysClose    = 1  // D1 = fd
+	SysCreate   = 2  // D1 = entry point, D2 = user stack top -> D0 = TTE address
+	SysDestroy  = 3  // D1 = TTE address
+	SysStop     = 4  // D1 = TTE address
+	SysStart    = 5  // D1 = TTE address
+	SysStep     = 6  // D1 = TTE address
+	SysSignal   = 7  // D1 = TTE address, D2 = handler PC
+	SysSetAlarm = 8  // D1 = microseconds, D2 = procedure
+	SysExit     = 9  // terminate calling thread
+	SysPipe     = 10 // -> D0 = read fd, D1 = write fd
+	SysYield    = 11 // give up the CPU voluntarily
+	SysSeek     = 12 // D1 = fd, D2 = absolute position
+)
+
+// KCALL service ids.
+const (
+	SvcPanic     = 1  // unhandled exception: stop simulation loudly
+	SvcExit      = 2  // thread exit bookkeeping
+	SvcOpen      = 3  // open bookkeeping + read/write synthesis
+	SvcClose     = 4  // close bookkeeping
+	SvcAllocTTE  = 5  // allocate TTE memory + code region -> D0
+	SvcFreeTTE   = 6  // release a destroyed thread's resources
+	SvcPipe      = 7  // create pipe queue + fds
+	SvcFPResynth = 8  // line-F trap: resynthesize switch code with FP
+	SvcRegister  = 9  // post-create registration of a thread
+	SvcTrace     = 10 // trace (single-step) completion: stop the thread
+)

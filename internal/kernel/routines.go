@@ -1,0 +1,538 @@
+package kernel
+
+import (
+	"synthesis/internal/fs"
+	"synthesis/internal/m68k"
+	"synthesis/internal/synth"
+)
+
+// Shared kernel routines, synthesized at boot. Unlike the per-thread
+// procedures these are used by every thread ("although in principle
+// each thread may have a completely different set of interrupt
+// handlers, currently the majority of them are shared by all
+// threads", Section 5.3).
+//
+// Register conventions:
+//   - system calls (trap #1) may clobber D0-D2 and A0-A1; D0 (and D1
+//     for pipe) carry results;
+//   - ready-queue routines (unlink/insert/wake) clobber D0 and A1 and
+//     take their TTE/cell argument in A0; they mask interrupts around
+//     the ring surgery and restore the caller's level (the ring is
+//     the one structure shared by every context, so Code Isolation
+//     cannot apply to it; a raised IPL is the uniprocessor equivalent
+//     of the paper's brief critical sections);
+//   - interrupt handlers save and restore every register they touch.
+
+const srIPLMask = 0x0700
+
+// synthesizeShared builds all shared routines and the prototype
+// vector table.
+func (k *Kernel) synthesizeShared() {
+	c := k.C
+	m := k.M
+
+	kq := c.NewQuaject("kernel-shared")
+
+	// --- panic stub: any unexpected exception lands here.
+	k.rtPanicVec = c.Synthesize(kq, "panic", nil, func(e *synth.Emitter) {
+		e.Kcall(SvcPanic)
+		e.Halt()
+	})
+
+	// --- unlink: remove the TTE in A0 from the ready ring and steer
+	// its predecessor's switch chain past it. This is the core of
+	// block, stop and destroy — Table 5's "Block thread: 4 usec".
+	k.rtUnlink = c.Synthesize(kq, "rq_unlink", nil, func(e *synth.Emitter) {
+		e.MoveFromSR(m68k.PreDec(7))
+		e.OrSR(srIPLMask)
+		// Not in the ring (TTENext == 0)? Nothing to do: unlink and
+		// insert are idempotent, so stop/start cannot corrupt the
+		// ring however callers pair them.
+		e.Tst(4, m68k.Disp(TTENext, 0))
+		e.Beq("out")
+		e.MoveL(m68k.A(2), m68k.PreDec(7))
+		e.MoveL(m68k.Disp(TTENext, 0), m68k.A(1)) // next
+		e.MoveL(m68k.Disp(TTEPrev, 0), m68k.A(2)) // prev
+		e.MoveL(m68k.A(1), m68k.Disp(TTENext, 2)) // prev.next = next
+		e.MoveL(m68k.A(2), m68k.Disp(TTEPrev, 1)) // next.prev = prev
+		e.Tst(4, m68k.Disp(TTEULimit, 1))         // quaspace change needed?
+		e.Beq("plain")
+		e.MoveL(m68k.Disp(TTESwinMMU, 1), m68k.D(0))
+		e.Bra("store")
+		e.Label("plain")
+		e.MoveL(m68k.Disp(TTESwinPtr, 1), m68k.D(0))
+		e.Label("store")
+		e.MoveL(m68k.D(0), m68k.Disp(TTENextSw, 2)) // prev jumps past us now
+		e.Clr(4, m68k.Disp(TTENext, 0))             // mark unlinked
+		e.MoveL(m68k.PostInc(7), m68k.A(2))
+		e.Label("out")
+		e.MoveToSR(m68k.PostInc(7))
+		e.Rts()
+	})
+
+	// --- insert: put the TTE in A0 right after the current thread —
+	// the front of the ready queue, "giving it immediate access to
+	// the CPU" (Section 4.4). Table 4's "Unblock thread: 4 usec".
+	k.rtInsert = c.Synthesize(kq, "rq_insert", nil, func(e *synth.Emitter) {
+		e.MoveFromSR(m68k.PreDec(7))
+		e.OrSR(srIPLMask)
+		// Already in the ring? A second start must not splice the
+		// TTE in twice.
+		e.Tst(4, m68k.Disp(TTENext, 0))
+		e.Bne("out")
+		e.MoveL(m68k.A(2), m68k.PreDec(7))
+		e.MoveL(m68k.Abs(GCurTTE), m68k.A(1))     // cur
+		e.MoveL(m68k.Disp(TTENext, 1), m68k.A(2)) // oldnext
+		e.MoveL(m68k.A(2), m68k.Disp(TTENext, 0))
+		e.MoveL(m68k.A(1), m68k.Disp(TTEPrev, 0))
+		e.MoveL(m68k.A(0), m68k.Disp(TTENext, 1))
+		e.MoveL(m68k.A(0), m68k.Disp(TTEPrev, 2))
+		e.Clr(4, m68k.Disp(TTEWaitsOn, 0))
+		// cur.nextsw = entry(new)
+		e.Tst(4, m68k.Disp(TTEULimit, 0))
+		e.Beq("p1")
+		e.MoveL(m68k.Disp(TTESwinMMU, 0), m68k.D(0))
+		e.Bra("s1")
+		e.Label("p1")
+		e.MoveL(m68k.Disp(TTESwinPtr, 0), m68k.D(0))
+		e.Label("s1")
+		e.MoveL(m68k.D(0), m68k.Disp(TTENextSw, 1))
+		// new.nextsw = entry(oldnext)
+		e.Tst(4, m68k.Disp(TTEULimit, 2))
+		e.Beq("p2")
+		e.MoveL(m68k.Disp(TTESwinMMU, 2), m68k.D(0))
+		e.Bra("s2")
+		e.Label("p2")
+		e.MoveL(m68k.Disp(TTESwinPtr, 2), m68k.D(0))
+		e.Label("s2")
+		e.MoveL(m68k.D(0), m68k.Disp(TTENextSw, 0))
+		e.MoveL(m68k.PostInc(7), m68k.A(2))
+		e.Label("out")
+		e.MoveToSR(m68k.PostInc(7))
+		e.Rts()
+	})
+
+	// --- leaveRing: remove the current thread from the ready ring,
+	// inserting the idle thread first if the ring would empty.
+	// Preserves A0; clobbers D0 and A1. Every self-removal path
+	// (block, stop-self, exit, trace-stop) goes through here.
+	k.rtLeave = c.Synthesize(kq, "rq_leave", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.Abs(GCurTTE), m68k.A(1))
+		e.Cmp(4, m68k.Disp(TTENext, 1), m68k.A(1)) // alone?
+		e.Bne("notalone")
+		e.MoveL(m68k.A(0), m68k.PreDec(7))
+		e.MoveL(m68k.Abs(GIdleTTE), m68k.A(0))
+		e.Jsr(k.rtInsert)
+		e.MoveL(m68k.PostInc(7), m68k.A(0))
+		e.MoveL(m68k.Abs(GCurTTE), m68k.A(1))
+		e.Label("notalone")
+		e.MoveL(m68k.A(0), m68k.PreDec(7))
+		e.MoveL(m68k.A(1), m68k.A(0))
+		e.Jsr(k.rtUnlink)
+		e.MoveL(m68k.PostInc(7), m68k.A(0))
+		e.Rts()
+	})
+
+	// --- blockOn: park the current thread on the single-waiter cell
+	// in A0 and switch away. Resumed when some wake path re-inserts
+	// it. "Spreading the waiting threads makes blocking and
+	// unblocking faster. Since we have eliminated the general blocked
+	// queue, we do not have to traverse it" (Section 4.1).
+	k.rtBlockOn = c.Synthesize(kq, "block_on", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.Abs(GCurTTE), m68k.A(1))
+		e.MoveL(m68k.A(1), m68k.Ind(0)) // cell = self
+		e.MoveL(m68k.A(0), m68k.Disp(TTEWaitsOn, 1))
+		e.Jsr(k.rtLeave)
+		e.Trap(TrapSwitch) // save context, run someone else
+		e.Rts()            // resumed here after wake
+	})
+
+	// --- wakeCell: unblock the thread parked on the cell in A0, if
+	// any. Interrupt handlers chain this to hand data to waiting
+	// threads.
+	k.rtWakeCell = c.Synthesize(kq, "wake_cell", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.Ind(0), m68k.D(0))
+		e.Beq("empty")
+		e.Clr(4, m68k.Ind(0))
+		e.MoveL(m68k.D(0), m68k.A(0))
+		e.Jsr(k.rtInsert)
+		e.Label("empty")
+		e.Rts()
+	})
+
+	// --- procedure chaining (Section 3.1): serialize a procedure
+	// after the current handler by swapping the return address on the
+	// stack. Caller is a handler with the exception frame directly
+	// above its JSR return address: [ret][SR][PC].
+	k.rtChain = c.Synthesize(kq, "chain_proc", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.Disp(8, 7), m68k.D(0)) // original resume PC
+		e.MoveL(m68k.D(0), m68k.Abs(GChainPC))
+		e.MoveL(m68k.D(1), m68k.Disp(8, 7)) // resume into the chained proc
+		e.Rts()
+	})
+
+	// The optimistic variant: claim the frame slot with a compare-
+	// and-swap and retry on interference (Table 5: 4 usec without,
+	// 7 usec with one retry).
+	k.rtChainCAS = c.Synthesize(kq, "chain_proc_cas", nil, func(e *synth.Emitter) {
+		e.Label("retry")
+		e.MoveL(m68k.Disp(8, 7), m68k.D(0))
+		e.MoveL(m68k.D(0), m68k.Abs(GChainPC))
+		e.Cas(4, 0, 1, m68k.Disp(8, 7))
+		e.Bne("retry")
+		e.Rts()
+	})
+
+	// --- signal return (trap #3): resume at the interrupted PC
+	// stashed by signal delivery.
+	k.rtSigRet = c.Synthesize(kq, "sig_return", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.A(0), m68k.PreDec(7))
+		e.MoveL(m68k.D(0), m68k.PreDec(7))
+		e.MoveL(m68k.Abs(GCurTTE), m68k.A(0))
+		e.MoveL(m68k.Disp(TTESigOld, 0), m68k.D(0))
+		e.MoveL(m68k.D(0), m68k.Disp(12, 7)) // frame PC slot
+		e.MoveL(m68k.PostInc(7), m68k.D(0))
+		e.MoveL(m68k.PostInc(7), m68k.A(0))
+		e.Rte()
+	})
+
+	// --- trace handler: implements the step system call. The traced
+	// instruction has executed; stop the thread where it stands. The
+	// trace bit stays set in the stacked SR, so each subsequent
+	// start/step resumes for exactly one more instruction.
+	k.rtTraceStop = c.Synthesize(kq, "trace_stop", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.A(0), m68k.PreDec(7))
+		e.MoveL(m68k.A(1), m68k.PreDec(7))
+		e.MoveL(m68k.D(0), m68k.PreDec(7))
+		e.Jsr(k.rtLeave)
+		e.Kcall(SvcTrace)
+		e.MoveL(m68k.PostInc(7), m68k.D(0))
+		e.MoveL(m68k.PostInc(7), m68k.A(1))
+		e.MoveL(m68k.PostInc(7), m68k.A(0))
+		e.Trap(TrapSwitch) // park; restart continues below
+		e.Rte()
+	})
+
+	// --- alarm interrupt (IRQ 2): dispatch to the registered
+	// procedure (Table 5: "Alarm interrupt: 7 usec").
+	k.rtAlarm = c.Synthesize(kq, "alarm_int", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.D(0), m68k.PreDec(7))
+		e.MoveL(m68k.Abs(GAlarmProc), m68k.D(0))
+		e.Beq("none")
+		e.JsrVia(m68k.Abs(GAlarmProc))
+		e.Label("none")
+		e.MoveL(m68k.PostInc(7), m68k.D(0))
+		e.Rte()
+	})
+
+	// --- error traps (Section 4.3): reflect synchronous faults into
+	// a user-mode error signal; with no handler registered, panic.
+	// Frame after the two saves: [D0][A0][SR][PC].
+	k.rtErrTrap = c.Synthesize(kq, "error_trap", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.A(0), m68k.PreDec(7))
+		e.MoveL(m68k.D(0), m68k.PreDec(7))
+		e.MoveL(m68k.Abs(GCurTTE), m68k.A(0))
+		e.TstL(m68k.Disp(TTEErrPC, 0))
+		e.Beq("panic")
+		e.MoveL(m68k.Disp(12, 7), m68k.D(0)) // faulting PC
+		e.MoveL(m68k.D(0), m68k.Disp(TTESigOld, 0))
+		e.MoveL(m68k.Disp(TTEErrPC, 0), m68k.D(0))
+		e.MoveL(m68k.D(0), m68k.Disp(12, 7)) // return-from-exception enters the handler
+		e.MoveL(m68k.PostInc(7), m68k.D(0))
+		e.MoveL(m68k.PostInc(7), m68k.A(0))
+		e.Rte()
+		e.Label("panic")
+		e.Kcall(SvcPanic)
+		e.Halt()
+	})
+
+	// --- line-F: first FP use; resynthesize the thread's context
+	// switch with FP save/restore and retry the instruction.
+	k.rtLineF = c.Synthesize(kq, "linef_fp", nil, func(e *synth.Emitter) {
+		e.Kcall(SvcFPResynth)
+		e.Rte()
+	})
+
+	// The prototype vector table address is folded into kcreate's
+	// copy loop as a synthesis-time invariant, so it must be
+	// allocated before the routines are synthesized.
+	k.protoVec = k.alloc(m68k.NumVectors * 4)
+
+	k.rtLookup = k.synthesizeLookup(kq)
+	k.rtCreate = k.synthesizeCreate(kq)
+	k.rtSysDisp = k.synthesizeDispatch(kq)
+	for v := 0; v < m68k.NumVectors; v++ {
+		m.Poke(k.protoVec+uint32(v)*4, 4, k.rtPanicVec)
+	}
+	set := func(vec int, addr uint32) { m.Poke(k.protoVec+uint32(vec)*4, 4, addr) }
+	set(m68k.VecTrapBase+TrapSys, k.rtSysDisp)
+	set(m68k.VecTrapBase+TrapSig, k.rtSigRet)
+	set(m68k.VecAutovector+m68k.IRQAlarm, k.rtAlarm)
+	set(m68k.VecTrace, k.rtTraceStop)
+	set(m68k.VecLineF, k.rtLineF)
+	set(m68k.VecBusError, k.rtErrTrap)
+	set(m68k.VecAddressError, k.rtErrTrap)
+	set(m68k.VecIllegal, k.rtErrTrap)
+	set(m68k.VecZeroDivide, k.rtErrTrap)
+	set(m68k.VecPrivilege, k.rtErrTrap)
+}
+
+// synthesizeLookup builds the open path's name resolution: hash the
+// NUL-terminated name at D1 backwards, walk the bucket chain and
+// compare names backwards ("hashed string names stored backwards",
+// Section 6.3 — reversed comparison rejects long-common-prefix names
+// like /dev/null vs /dev/tty at the first byte). Returns the
+// directory entry address in D0, or 0. Clobbers D0, D2, A0, A1;
+// preserves D1 (the dispatcher passes it on to the open service).
+func (k *Kernel) synthesizeLookup(kq *synth.Quaject) uint32 {
+	return k.C.Synthesize(kq, "fs_lookup", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.D(3), m68k.PreDec(7))
+		e.MoveL(m68k.D(4), m68k.PreDec(7))
+
+		// strlen: D0 = length.
+		e.MoveL(m68k.D(1), m68k.A(0))
+		e.Label("len")
+		e.Tst(1, m68k.PostInc(0))
+		e.Bne("len")
+		e.MoveL(m68k.A(0), m68k.D(0))
+		e.SubL(m68k.D(1), m68k.D(0))
+		e.SubL(m68k.Imm(1), m68k.D(0))
+		e.Beq("miss") // empty name never matches
+
+		// hash backwards: h(D2) = (h<<2) ^ byte, last byte first.
+		// (The char register is cleared once; byte moves leave the
+		// upper bits alone.)
+		e.Lea(m68k.Disp(-1, 0), 0) // A0 just past the last character
+		e.Clr(4, m68k.D(2))
+		e.Clr(4, m68k.D(4))
+		e.MoveL(m68k.D(0), m68k.D(3))
+		e.SubL(m68k.Imm(1), m68k.D(3)) // dbra counter
+		e.Label("hash")
+		e.MoveB(m68k.PreDec(0), m68k.D(4))
+		e.LslL(m68k.Imm(2), m68k.D(2))
+		e.EorL(m68k.D(4), m68k.D(2))
+		e.Dbra(3, "hash")
+		// Fold the word so the early (last-character) contributions
+		// reach the bucket bits.
+		for _, sh := range []int32{6, 12, 18} {
+			e.MoveL(m68k.D(2), m68k.D(4))
+			e.LsrL(m68k.Imm(sh), m68k.D(4))
+			e.EorL(m68k.D(4), m68k.D(2))
+		}
+		e.AndL(m68k.Imm(fs.NBuckets-1), m68k.D(2))
+
+		// A0 = first entry of the bucket chain.
+		e.LslL(m68k.Imm(2), m68k.D(2))
+		e.AddL(m68k.Imm(int32(k.FS.Buckets)), m68k.D(2)) // bucket table base: a boot-time invariant, folded in
+		e.MoveL(m68k.D(2), m68k.A(0))
+		e.MoveL(m68k.Ind(0), m68k.A(0))
+
+		// Walk the chain.
+		e.Label("walk")
+		e.MoveL(m68k.A(0), m68k.D(2))
+		e.Beq("miss")
+		e.Cmp(4, m68k.Disp(fs.EntNameLen, 0), m68k.D(0))
+		e.Bne("next")
+		// Compare backwards: entry name is stored reversed, so walk
+		// it forward while walking the looked-up name from its end.
+		e.MoveL(m68k.A(0), m68k.PreDec(7)) // save entry
+		e.Lea(m68k.Disp(fs.EntName, 0), 1)
+		e.MoveL(m68k.D(1), m68k.A(0))
+		e.AddL(m68k.D(0), m68k.Operand{Mode: m68k.ModeAReg, Reg: 0}) // A0 = name + len
+		e.MoveL(m68k.D(0), m68k.D(3))
+		e.SubL(m68k.Imm(1), m68k.D(3)) // dbra counter (len >= 1 here)
+		e.Label("cmp")
+		e.MoveB(m68k.PreDec(0), m68k.D(4))
+		e.Cmp(1, m68k.PostInc(1), m68k.D(4))
+		e.Bne("nextpop")
+		e.Dbra(3, "cmp")
+		e.MoveL(m68k.PostInc(7), m68k.D(0)) // result: entry address
+		e.Bra("out")
+		e.Label("nextpop")
+		e.MoveL(m68k.PostInc(7), m68k.A(0))
+		e.Label("next")
+		e.MoveL(m68k.Disp(fs.EntNext, 0), m68k.A(0))
+		e.Bra("walk")
+		e.Label("miss")
+		e.Clr(4, m68k.D(0))
+		e.Label("out")
+		e.MoveL(m68k.PostInc(7), m68k.D(4))
+		e.MoveL(m68k.PostInc(7), m68k.D(3))
+		e.Rts()
+	})
+}
+
+// synthesizeCreate builds kcreate: the measured thread-creation path.
+// "Of these, about 100 [microseconds] are needed to fill
+// approximately 1KBytes in the TTE and the rest are used by code
+// synthesis" (Section 6.3). D1 = entry PC, D2 = user stack; returns
+// the new TTE address in D0.
+func (k *Kernel) synthesizeCreate(kq *synth.Quaject) uint32 {
+	return k.C.Synthesize(kq, "kcreate", nil, func(e *synth.Emitter) {
+		e.Kcall(SvcAllocTTE) // D0 = raw TTE memory
+		e.MoveL(m68k.D(0), m68k.PreDec(7))
+		// Fill the non-vector part of the TTE with unrolled clears
+		// (the vector area is overwritten by the copy right after).
+		e.MoveL(m68k.D(0), m68k.A(0))
+		e.MoveL(m68k.Imm(TTEVec/16-1), m68k.D(0))
+		e.Label("clr1")
+		for i := 0; i < 4; i++ {
+			e.Clr(4, m68k.PostInc(0))
+		}
+		e.Dbra(0, "clr1")
+		e.MoveL(m68k.Ind(7), m68k.A(0))
+		e.Lea(m68k.Disp(TTEVec+m68k.VectorTableBytes, 0), 0)
+		e.MoveL(m68k.Imm((TTESize-TTEVec-m68k.VectorTableBytes)/16-1), m68k.D(0))
+		e.Label("clr2")
+		for i := 0; i < 4; i++ {
+			e.Clr(4, m68k.PostInc(0))
+		}
+		e.Dbra(0, "clr2")
+		// Copy the prototype vector table into the TTE, unrolled.
+		e.MoveL(m68k.Ind(7), m68k.A(1))
+		e.Lea(m68k.Disp(TTEVec, 1), 1)
+		e.Lea(m68k.Abs(k.protoVec), 0)
+		e.MoveL(m68k.Imm(m68k.NumVectors/4-1), m68k.D(0))
+		e.Label("cpy")
+		for i := 0; i < 4; i++ {
+			e.MoveL(m68k.PostInc(0), m68k.PostInc(1))
+		}
+		e.Dbra(0, "cpy")
+		// Register: Go wires the fields and synthesizes (and charges)
+		// the per-thread procedures.
+		e.MoveL(m68k.PostInc(7), m68k.D(0))
+		e.Kcall(SvcRegister)
+		e.Rts()
+	})
+}
+
+// synthesizeDispatch builds the trap #1 native system call
+// dispatcher.
+func (k *Kernel) synthesizeDispatch(kq *synth.Quaject) uint32 {
+	timerAlarm := int32(m68k.TimerBase + m68k.TimerRegAlarm)
+	return k.C.Synthesize(kq, "sys_dispatch", nil, func(e *synth.Emitter) {
+		cases := []struct {
+			fn    int32
+			label string
+		}{
+			{SysOpen, "open"}, {SysClose, "close"}, {SysCreate, "create"},
+			{SysDestroy, "destroy"}, {SysStop, "stop"}, {SysStart, "start"},
+			{SysStep, "step"}, {SysSignal, "signal"}, {SysSetAlarm, "alarm"},
+			{SysExit, "exit"}, {SysPipe, "pipe"}, {SysYield, "yield"},
+			{SysSeek, "seek"},
+		}
+		for _, cs := range cases {
+			e.Cmp(4, m68k.Imm(cs.fn), m68k.D(0))
+			e.Beq(cs.label)
+		}
+		e.Kcall(SvcPanic)
+		e.Halt()
+
+		e.Label("open")
+		e.Jsr(k.rtLookup)
+		e.TstL(m68k.D(0))
+		e.Beq("openmiss")
+		e.Kcall(SvcOpen) // D1 = name; returns D0 = fd (synthesis charged)
+		e.Rte()
+		e.Label("openmiss")
+		e.MoveL(m68k.Imm(-1), m68k.D(0))
+		e.Rte()
+
+		e.Label("close")
+		e.Kcall(SvcClose)
+		e.Rte()
+
+		e.Label("create")
+		e.Jsr(k.rtCreate)
+		e.Rte()
+
+		e.Label("destroy")
+		e.MoveL(m68k.D(1), m68k.A(0))
+		e.Cmp(4, m68k.Abs(GCurTTE), m68k.D(1))
+		e.Beq("selfdestroy")
+		e.Jsr(k.rtUnlink)
+		e.Kcall(SvcFreeTTE)
+		e.Rte()
+		e.Label("selfdestroy")
+		e.Jsr(k.rtLeave)
+		e.Kcall(SvcFreeTTE)
+		e.Trap(TrapSwitch) // never resumed
+		e.Halt()
+
+		e.Label("stop")
+		e.MoveL(m68k.D(1), m68k.A(0))
+		e.Cmp(4, m68k.Abs(GCurTTE), m68k.D(1))
+		e.Beq("stopself")
+		e.Jsr(k.rtUnlink)
+		e.Rte()
+		e.Label("stopself")
+		e.Jsr(k.rtLeave)
+		e.Trap(TrapSwitch) // parked until start
+		e.Rte()
+
+		e.Label("start")
+		e.MoveL(m68k.D(1), m68k.A(0))
+		e.Jsr(k.rtInsert)
+		e.Rte()
+
+		e.Label("step")
+		// Arm the trace bit in the target's stacked SR and let it
+		// run: it executes one instruction and the trace handler
+		// stops it again (Section 4.3).
+		e.MoveL(m68k.D(1), m68k.A(0))
+		e.MoveL(m68k.Disp(TTESSP, 0), m68k.A(1))
+		e.OrL(m68k.Imm(int32(m68k.FlagT)), m68k.Ind(1))
+		e.Jsr(k.rtInsert)
+		e.Rte()
+
+		e.Label("signal")
+		// "The signal system call alters the general registers area
+		// of the receiving thread's TTE to make the receiving thread
+		// call the signal handler when activated" — here: rewrite the
+		// resume PC in the target's saved exception frame.
+		e.MoveL(m68k.D(1), m68k.A(0))
+		e.MoveL(m68k.Disp(TTESSP, 0), m68k.A(1))
+		e.MoveL(m68k.Disp(4, 1), m68k.D(0)) // saved resume PC
+		e.MoveL(m68k.D(0), m68k.Disp(TTESigOld, 0))
+		e.MoveL(m68k.D(2), m68k.Disp(4, 1)) // resume into the handler
+		e.Rte()
+
+		e.Label("alarm")
+		// D1 = cycles until alarm, D2 = procedure. Table 5: "Set
+		// alarm: 9 usec".
+		e.MoveL(m68k.D(2), m68k.Abs(GAlarmProc))
+		e.MoveL(m68k.D(1), m68k.Abs(uint32(timerAlarm)))
+		e.Rte()
+
+		e.Label("exit")
+		e.Kcall(SvcExit)
+		e.Tst(4, m68k.Abs(GLiveThreads))
+		e.Bne("exitsw")
+		e.Halt() // simulation over: every user thread is done
+		e.Label("exitsw")
+		e.MoveL(m68k.Abs(GCurTTE), m68k.A(0))
+		e.MoveL(m68k.A(0), m68k.D(1))
+		e.Jsr(k.rtLeave)
+		e.Kcall(SvcFreeTTE)
+		e.Trap(TrapSwitch)
+		e.Halt()
+
+		e.Label("pipe")
+		e.Kcall(SvcPipe)
+		e.Rte()
+
+		e.Label("yield")
+		e.Trap(TrapSwitch)
+		e.Rte()
+
+		e.Label("seek")
+		// Set the descriptor's position cell: curTTE + fd table +
+		// fd*slot + pos.
+		e.MoveL(m68k.Abs(GCurTTE), m68k.A(0))
+		e.LslL(m68k.Imm(5), m68k.D(1)) // fd * FDSlotSize(32)
+		e.AddL(m68k.D(1), m68k.A(0))
+		e.MoveL(m68k.D(2), m68k.Disp(TTEFDBase+FDPos, 0))
+		e.MoveL(m68k.D(2), m68k.D(0))
+		e.Rte()
+	})
+}

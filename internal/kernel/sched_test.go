@@ -1,0 +1,133 @@
+package kernel_test
+
+import (
+	"errors"
+	"testing"
+
+	"synthesis/internal/kernel"
+	"synthesis/internal/m68k"
+	"synthesis/internal/synth"
+)
+
+// The fine-grain scheduler: threads with higher I/O rates get larger
+// quanta; idle-handed threads drift back to the base quantum; bounds
+// hold.
+
+func TestSchedulerAdaptsQuantumToIORate(t *testing.T) {
+	k := boot(t)
+	s := kernel.NewScheduler(k)
+
+	// Two spinning threads: one "does I/O" by bumping its own gauge
+	// (as every synthesized queue operation does), one computes.
+	busyIO := k.C.Synthesize(nil, "io", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.Abs(kernel.GCurTTE), m68k.A(0))
+		e.Label("loop")
+		e.AddL(m68k.Imm(1), m68k.Disp(kernel.TTEIOGauge, 0))
+		e.Bra("loop")
+	})
+	compute := k.C.Synthesize(nil, "cpu", nil, func(e *synth.Emitter) {
+		e.Label("loop")
+		e.AddL(m68k.Imm(1), m68k.D(3))
+		e.Bra("loop")
+	})
+	tIO := k.SpawnKernel("io", busyIO)
+	tCPU := k.SpawnKernel("cpu", compute)
+
+	k.Start(tIO)
+	// Let both run, adapting between slices.
+	for round := 0; round < 6; round++ {
+		if err := k.Run(2_000_000); !errors.Is(err, m68k.ErrCycleLimit) {
+			t.Fatalf("run: %v", err)
+		}
+		s.Adapt()
+	}
+	qIO := s.QuantumUS(tIO)
+	qCPU := s.QuantumUS(tCPU)
+	if qIO <= qCPU {
+		t.Errorf("I/O thread quantum %.0f usec not larger than compute thread's %.0f", qIO, qCPU)
+	}
+	p := s.Params
+	if qIO > p.MaxQuantumUS || qIO < p.MinQuantumUS {
+		t.Errorf("quantum %.0f outside [%v, %v]", qIO, p.MinQuantumUS, p.MaxQuantumUS)
+	}
+	if qCPU < p.MinQuantumUS {
+		t.Errorf("compute quantum %.0f below floor", qCPU)
+	}
+	t.Logf("quanta after adaptation: io=%.0f usec, cpu=%.0f usec", qIO, qCPU)
+
+	// When the I/O stops, the quantum decays back toward base.
+	k.M.Poke(tIO.TTE+kernel.TTEIOGauge, 4, 0)
+	for i := 0; i < 12; i++ {
+		s.Adapt()
+		k.M.Poke(tIO.TTE+kernel.TTEIOGauge, 4, 0)
+	}
+	if got := s.QuantumUS(tIO); got > p.BaseQuantumUS*1.2 {
+		t.Errorf("quantum did not decay: %.0f usec (base %v)", got, p.BaseQuantumUS)
+	}
+}
+
+func TestSchedulerAlarmDriverRunsOnMachineTime(t *testing.T) {
+	k := boot(t)
+	s := kernel.NewScheduler(k)
+	s.InstallAlarmDriver(1000) // adapt every simulated millisecond
+
+	prog := k.C.Synthesize(nil, "spin", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.Abs(kernel.GCurTTE), m68k.A(0))
+		e.Label("loop")
+		e.AddL(m68k.Imm(1), m68k.Disp(kernel.TTEIOGauge, 0))
+		e.Bra("loop")
+	})
+	th := k.SpawnKernel("spin", prog)
+	k.Start(th)
+	if err := k.Run(30_000_000); !errors.Is(err, m68k.ErrCycleLimit) {
+		t.Fatalf("run: %v", err)
+	}
+	// Several adaptation windows have elapsed; the busy thread's
+	// quantum should be above base.
+	if got := s.QuantumUS(th); got <= kernel.DefaultSchedParams().BaseQuantumUS {
+		t.Errorf("alarm-driven adaptation never raised the quantum: %.0f usec", got)
+	}
+}
+
+func TestUnblockedThreadRunsBeforeQueueTail(t *testing.T) {
+	// Section 4.4: "As an event unblocks a thread, its TTE is placed
+	// at the front of the ready queue, giving it immediate access to
+	// the CPU." With three threads linked, waking a blocked thread
+	// must schedule it before the others get another turn.
+	k := boot(t)
+	const cell, order = 0x9000, 0x9010
+	logV := func(e *synth.Emitter, id int32) {
+		e.MoveL(m68k.Abs(order), m68k.D(3))
+		e.Mulu(m68k.Imm(10), m68k.D(3))
+		e.AddL(m68k.Imm(id), m68k.D(3))
+		e.MoveL(m68k.D(3), m68k.Abs(order))
+	}
+	waiter := k.C.Synthesize(nil, "waiter", nil, func(e *synth.Emitter) {
+		e.Lea(m68k.Abs(cell), 0)
+		e.Jsr(k.BlockOnRoutine())
+		logV(e, 1) // must log before the spinner's next turn (id 2)
+		e.MoveL(m68k.Imm(kernel.SysExit), m68k.D(0))
+		e.Trap(kernel.TrapSys)
+	})
+	// The waker: wakes, then logs, then yields forever.
+	waker := k.C.Synthesize(nil, "waker", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.Imm(kernel.SysYield), m68k.D(0))
+		e.Trap(kernel.TrapSys) // give the waiter time to block
+		e.Lea(m68k.Abs(cell), 0)
+		e.Jsr(k.WakeCellRoutine())
+		e.MoveL(m68k.Imm(kernel.SysYield), m68k.D(0))
+		e.Trap(kernel.TrapSys) // front-of-queue: the WAITER must run now
+		logV(e, 2)
+		e.MoveL(m68k.Imm(kernel.SysExit), m68k.D(0))
+		e.Trap(kernel.TrapSys)
+	})
+	tw := k.SpawnKernel("waiter", waiter)
+	k.SpawnKernel("waker", waker)
+	k.Start(tw)
+	if err := k.Run(10_000_000); err != nil && !errors.Is(err, m68k.ErrCycleLimit) {
+		t.Fatalf("run: %v", err)
+	}
+	if got := k.M.Peek(order, 4); got != 12 {
+		t.Errorf("execution order = %d, want 12 (woken thread first)", got)
+	}
+}

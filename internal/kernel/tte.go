@@ -1,0 +1,241 @@
+package kernel
+
+import (
+	"fmt"
+
+	"synthesis/internal/m68k"
+	"synthesis/internal/synth"
+)
+
+// This file builds threads: the TTE in machine memory plus the
+// per-thread synthesized procedures of Figure 3 — context-switch-out
+// and context-switch-in (with and without the quaspace change), and
+// the lazy floating-point variant installed by resynthesis after the
+// first FP trap (Section 4.2).
+
+// perThreadCodeSlots reserves room in code space for one thread's
+// switch procedures, sized for the largest (FP + MMU) variants so
+// resynthesis happens in place.
+const perThreadCodeSlots = 48
+
+// newThread allocates and initializes a thread entirely from the
+// host (used at boot and by tests; the measured creation path runs
+// through the kcreate VM routine instead, which does the microsecond-
+// expensive filling as machine code and then calls finishCreate).
+func (k *Kernel) newThread(name string, ubase, ulimit uint32, kernelMode bool) *Thread {
+	tte := k.alloc(TTESize + kstackSize)
+	// Host-side fill (the VM path pays for this with its clear loop).
+	for off := uint32(0); off < TTESize; off += 4 {
+		k.M.Poke(tte+off, 4, 0)
+	}
+	k.copyProtoVectors(tte)
+	return k.initThread(tte, name, ubase, ulimit, kernelMode)
+}
+
+// copyProtoVectors copies the prototype vector table into a TTE.
+func (k *Kernel) copyProtoVectors(tte uint32) {
+	for i := uint32(0); i < m68k.NumVectors*4; i += 4 {
+		k.M.Poke(tte+TTEVec+i, 4, k.M.Peek(k.protoVec+i, 4))
+	}
+}
+
+// initThread wires the per-thread fields and synthesizes the switch
+// procedures. The TTE memory must already be cleared and the vector
+// table copied.
+func (k *Kernel) initThread(tte uint32, name string, ubase, ulimit uint32, kernelMode bool) *Thread {
+	m := k.M
+	t := &Thread{
+		TTE:      tte,
+		Name:     name,
+		Q:        k.C.NewQuaject("thread:" + name),
+		CodeBase: m.AllocCode(perThreadCodeSlots),
+		CodeSize: perThreadCodeSlots,
+		KStack:   tte + TTESize + kstackSize,
+	}
+	k.Threads[tte] = t
+
+	m.Poke(tte+TTEUBase, 4, ubase)
+	m.Poke(tte+TTEULimit, 4, ulimit)
+	m.Poke(tte+TTEQuantum, 4, uint32(k.defaultQuantumCycles()))
+
+	k.synthesizeSwitch(t, false)
+
+	// Per-thread vectors that point at the thread's own code: the
+	// quantum interrupt and the voluntary-switch trap both enter
+	// sw_out (Figure 3: "the interrupt is vectored to thread-0's
+	// context-switch-out procedure").
+	swout := m.Peek(tte+TTESwoutPt, 4)
+	m.Poke(tte+TTEVec+uint32(m68k.VecAutovector+m68k.IRQTimer)*4, 4, swout)
+	m.Poke(tte+TTEVec+uint32(m68k.VecTrapBase+TrapSwitch)*4, 4, swout)
+
+	if kernelMode {
+		m.Poke(tte+TTEUBase, 4, 0)
+		m.Poke(tte+TTEULimit, 4, 0)
+	}
+	return t
+}
+
+// defaultQuantumCycles is the initial CPU quantum: "a typical quantum
+// is on the order of a few hundred microseconds" (Section 4.4).
+func (k *Kernel) defaultQuantumCycles() uint64 {
+	return uint64(500 * k.M.ClockMHz) // 500 microseconds
+}
+
+// setEntry builds the thread's initial exception frame so that the
+// first switch-in starts it at entry with the given SR.
+func (k *Kernel) setEntry(t *Thread, entry, userSP uint32, sr uint16) {
+	m := k.M
+	ssp := t.KStack - 8
+	m.Poke(ssp, 4, uint32(sr)) // stacked SR
+	m.Poke(ssp+4, 4, entry)    // stacked PC
+	m.Poke(t.TTE+TTESSP, 4, ssp)
+	m.Poke(t.TTE+TTEUSP, 4, userSP)
+}
+
+// synthesizeSwitch (re)builds the thread's sw_out and sw_in
+// procedures in its code region. withFP selects the variant that also
+// saves and restores the floating-point context; the default omits it
+// and the line-F trap upgrades the thread on first FP use.
+func (k *Kernel) synthesizeSwitch(t *Thread, withFP bool) {
+	m := k.M
+	tte := t.TTE
+	fpTrap := int32(1)
+	if withFP {
+		fpTrap = 0
+	}
+
+	// sw_out at CodeBase.
+	swout := t.CodeBase
+	k.C.SynthesizeAt(t.Q, "sw_out", swout, 16, nil, func(e *synth.Emitter) {
+		// The whole switch runs with interrupts masked: a quantum
+		// interrupt landing mid-switch would re-enter sw_out and
+		// overwrite the register save area with transient state. The
+		// target thread's RTE restores its own interrupt level.
+		e.OrSR(srIPLMask)
+		// Save the integer context into the register save area; the
+		// TTE address is a synthesis-time constant for this thread
+		// (Factoring Invariants), so no pointer is ever chased.
+		e.MovemSave(0x7fff, m68k.Abs(tte+TTEReg)) // D0-D7, A0-A6
+		e.MovecFrom(m68k.CtrlUSP, m68k.D(0))
+		e.MoveL(m68k.D(0), m68k.Abs(tte+TTEUSP))
+		if withFP {
+			e.FmovemSave(0xff, m68k.Abs(tte+TTEFP))
+		}
+		e.MoveL(m68k.A(7), m68k.Abs(tte+TTESSP))
+		// The executable ready queue: control flows straight to the
+		// next thread's switch-in through this TTE cell.
+		e.JmpVia(m68k.Abs(tte + TTENextSw))
+	})
+
+	// sw_in.mmu then sw_in, contiguous: the mmu entry performs the
+	// quaspace change and falls through.
+	swinMMU := t.CodeBase + 16
+	k.C.SynthesizeAt(t.Q, "sw_in", swinMMU, perThreadCodeSlots-16, nil, func(e *synth.Emitter) {
+		e.MovecTo(m68k.CtrlUBase, m68k.Abs(tte+TTEUBase))
+		e.MovecTo(m68k.CtrlULimit, m68k.Abs(tte+TTEULimit))
+		e.Label("swin")
+		e.MoveL(m68k.Imm(int32(tte)), m68k.Abs(GCurTTE))
+		e.MovecTo(m68k.CtrlVBR, m68k.Imm(int32(tte+TTEVec)))
+		e.MovecTo(m68k.CtrlFPTrap, m68k.Imm(fpTrap))
+		// Re-arm the quantum for this thread (fine-grain scheduling
+		// adjusts the cell).
+		e.MoveL(m68k.Abs(tte+TTEQuantum), m68k.Abs(m68k.TimerBase+m68k.TimerRegQuantum))
+		e.MoveL(m68k.Abs(tte+TTEUSP), m68k.D(0))
+		e.MovecTo(m68k.CtrlUSP, m68k.D(0))
+		if withFP {
+			e.FmovemRest(m68k.Abs(tte+TTEFP), 0xff)
+		}
+		e.MoveL(m68k.Abs(tte+TTESSP), m68k.A(7))
+		e.MovemRest(m68k.Abs(tte+TTEReg), 0x7fff)
+		e.Rte()
+	})
+	// The plain sw_in entry skips the two quaspace loads.
+	swin := swinMMU + 2
+
+	m.Poke(tte+TTESwoutPt, 4, swout)
+	m.Poke(tte+TTESwinMMU, 4, swinMMU)
+	m.Poke(tte+TTESwinPtr, 4, swin)
+	t.UsesFP = withFP
+}
+
+// resynthesizeFP upgrades the running thread's context switch to the
+// floating-point variant: the line-F trap handler calls this (via
+// KCALL) the first time the thread touches the FP co-processor. "This
+// way, only users of the floating point co-processor will pay for the
+// added overhead" (Section 4.2).
+func (k *Kernel) resynthesizeFP(t *Thread) {
+	if t == nil || t.UsesFP {
+		return
+	}
+	k.synthesizeSwitch(t, true)
+	flags := k.M.Peek(t.TTE+TTEFlags, 4)
+	k.M.Poke(t.TTE+TTEFlags, 4, flags|TTEFlagFP)
+	// Re-point the quantum/switch vectors (the sw_out address is
+	// unchanged — resynthesis happens in place — but keep this
+	// explicit in case the layout ever changes).
+	swout := k.M.Peek(t.TTE+TTESwoutPt, 4)
+	k.M.Poke(t.TTE+TTEVec+uint32(m68k.VecAutovector+m68k.IRQTimer)*4, 4, swout)
+	k.M.Poke(t.TTE+TTEVec+uint32(m68k.VecTrapBase+TrapSwitch)*4, 4, swout)
+	// The machine must stop trapping FP for this thread right now.
+	k.M.FPTrap = false
+}
+
+// finishCreate is the KCALL tail of the kcreate VM routine: the VM
+// side has allocated (SvcAllocTTE), cleared the TTE and copied the
+// prototype vector table; this completes registration and charges the
+// synthesis of the new thread's procedures.
+func (k *Kernel) finishCreate(tte, entry, userSP uint32) *Thread {
+	name := fmt.Sprintf("t%08x", tte)
+	parent := k.Cur()
+	var ubase, ulimit uint32
+	var sr uint16
+	if parent != nil {
+		// The child shares the creator's quaspace (threads execute
+		// in a quaspace; creation does not make a new one).
+		ubase = k.M.Peek(parent.TTE+TTEUBase, 4)
+		ulimit = k.M.Peek(parent.TTE+TTEULimit, 4)
+	}
+	if ulimit == 0 {
+		sr = m68k.FlagS
+	}
+	t := k.initThread(tte, name, ubase, ulimit, ulimit == 0)
+	k.setEntry(t, entry, userSP, sr)
+	return t
+}
+
+// linkFirst makes t the sole member of the ready ring (used for the
+// idle thread at boot).
+func (k *Kernel) linkFirst(t *Thread) {
+	m := k.M
+	swin := m.Peek(t.TTE+TTESwinPtr, 4)
+	m.Poke(t.TTE+TTENext, 4, t.TTE)
+	m.Poke(t.TTE+TTEPrev, 4, t.TTE)
+	m.Poke(t.TTE+TTENextSw, 4, swin)
+	t.Linked = true
+}
+
+// Link inserts t into the ready ring after the thread at whose TTE
+// `after` points (host-side mirror of the insert routine, for setup
+// before the machine runs).
+func (k *Kernel) Link(t *Thread, after *Thread) {
+	m := k.M
+	a, b := after.TTE, t.TTE
+	next := m.Peek(a+TTENext, 4)
+	m.Poke(b+TTENext, 4, next)
+	m.Poke(b+TTEPrev, 4, a)
+	m.Poke(a+TTENext, 4, b)
+	m.Poke(next+TTEPrev, 4, b)
+	m.Poke(a+TTENextSw, 4, k.swinFor(b))
+	m.Poke(b+TTENextSw, 4, k.swinFor(next))
+	t.Linked = true
+}
+
+// swinFor picks the correct switch-in entry for jumping to the thread
+// at TTE addr: the mmu entry when it has a quaspace, the plain entry
+// otherwise.
+func (k *Kernel) swinFor(tte uint32) uint32 {
+	if k.M.Peek(tte+TTEULimit, 4) != 0 {
+		return k.M.Peek(tte+TTESwinMMU, 4)
+	}
+	return k.M.Peek(tte+TTESwinPtr, 4)
+}

@@ -1,0 +1,343 @@
+package kio
+
+import (
+	"synthesis/internal/m68k"
+	"synthesis/internal/synth"
+)
+
+// Kernel byte queues: the SP-SC queue of Figure 1 laid out in machine
+// memory, moved by synthesized code. Each stream's queue geometry is
+// a synthesis-time constant, so the emitted put/get code addresses
+// the buffer with folded immediates — no queue descriptor is ever
+// dereferenced at run time (Factoring Invariants).
+//
+// Blocking follows the paper's synchronous-queue semantics: the only
+// synchronization in the data path is the ordering of the final index
+// store (Code Isolation between the producer's head and the
+// consumer's tail); the empty/full edge raises the interrupt level
+// across the re-check-and-park sequence so a producer running from an
+// interrupt handler cannot slip a wakeup in between (the uniprocessor
+// equivalent of the paper's brief masked sections).
+//
+// Layout of a kernel queue in memory (all offsets in bytes):
+const (
+	KQHead  = 0  // next byte the producer fills
+	KQTail  = 4  // next byte the consumer drains
+	KQRWait = 8  // reader wait cell (thread blocked for data)
+	KQWWait = 12 // writer wait cell (thread blocked for space)
+	KQGauge = 16 // I/O gauge for the fine-grain scheduler
+	KQBuf   = 20 // the byte buffer
+)
+
+// KQueue describes one kernel queue (host-side mirror).
+type KQueue struct {
+	Addr uint32 // base address in machine memory
+	Size int32  // buffer bytes (capacity is Size-1)
+}
+
+// NewKQueue allocates a kernel queue.
+func (io *IO) NewKQueue(size int32) *KQueue {
+	k := io.K
+	addr, err := k.Heap.Alloc(uint32(KQBuf + size))
+	if err != nil {
+		panic("kio: cannot allocate kernel queue")
+	}
+	for off := uint32(0); off < KQBuf; off += 4 {
+		k.M.Poke(addr+off, 4, 0)
+	}
+	return &KQueue{Addr: addr, Size: size}
+}
+
+// Len returns the current queue depth (host view, for tests).
+func (q *KQueue) Len(m *m68k.Machine) int32 {
+	h := int32(m.Peek(q.Addr+KQHead, 4))
+	t := int32(m.Peek(q.Addr+KQTail, 4))
+	d := h - t
+	if d < 0 {
+		d += q.Size
+	}
+	return d
+}
+
+// Gauge returns the queue's I/O gauge (host view).
+func (q *KQueue) Gauge(m *m68k.Machine) uint32 {
+	return m.Peek(q.Addr+KQGauge, 4)
+}
+
+const iplMaskBits = 0x0700
+
+// emitCopy emits an inline byte copier: D1 bytes from (A0)+ to (A1)+,
+// long words first, byte tail after. Clobbers D0 and D1. This is the
+// unrolled-into-the-caller block transfer of Section 6.2 ("the
+// generated code loads long words from one quaspace into registers
+// and stores them back in the other quaspace").
+func emitCopy(e *synth.Emitter) {
+	// 32-byte groups with the move unrolled eight times ("with
+	// unrolled loops this achieves the data transfer rate of about
+	// 8MB per second"), then leftover long words, then bytes.
+	e.MoveL(m68k.D(1), m68k.D(0))
+	e.LsrL(m68k.Imm(5), m68k.D(0))
+	e.Beq("kcp_longs")
+	e.SubL(m68k.Imm(1), m68k.D(0))
+	e.Label("kcp_32")
+	for i := 0; i < 8; i++ {
+		e.MoveL(m68k.PostInc(0), m68k.PostInc(1))
+	}
+	e.Dbra(0, "kcp_32")
+	e.Label("kcp_longs")
+	e.MoveL(m68k.D(1), m68k.D(0))
+	e.LsrL(m68k.Imm(2), m68k.D(0))
+	e.AndL(m68k.Imm(7), m68k.D(0))
+	e.Beq("kcp_tail")
+	e.SubL(m68k.Imm(1), m68k.D(0))
+	e.Label("kcp_4")
+	e.MoveL(m68k.PostInc(0), m68k.PostInc(1))
+	e.Dbra(0, "kcp_4")
+	e.Label("kcp_tail")
+	e.AndL(m68k.Imm(3), m68k.D(1))
+	e.Beq("kcp_done")
+	e.SubL(m68k.Imm(1), m68k.D(1))
+	e.Label("kcp_b")
+	e.MoveB(m68k.PostInc(0), m68k.PostInc(1))
+	e.Dbra(1, "kcp_b")
+	e.Label("kcp_done")
+}
+
+// emitQueueWrite emits the body of a blocking bulk write into the
+// queue: D1 = source buffer, D2 = length; returns D0 = bytes written
+// (the full length) and ends with RTE. Clobbers D0-D2, A0, A1 (the
+// system-call scratch set). Must be emitted into a trap or interrupt
+// handler (it manipulates the interrupt mask).
+func (io *IO) emitQueueWrite(e *synth.Emitter, q *KQueue, fdGauge uint32) {
+	head := q.Addr + KQHead
+	tail := q.Addr + KQTail
+	buf := q.Addr + KQBuf
+	rwait := q.Addr + KQRWait
+	wwait := q.Addr + KQWWait
+	gauge := q.Addr + KQGauge
+	size := q.Size
+
+	// Single-byte fast path: the overwhelmingly common case for
+	// character streams, and the Figure 1 put in its shortest form —
+	// the specialization behind the paper's one-byte pipe numbers.
+	e.CmpL(m68k.Imm(1), m68k.D(2))
+	e.Bne("qw_general")
+	e.MoveL(m68k.Abs(head), m68k.D(0))
+	e.MoveL(m68k.D(0), m68k.D(2))
+	e.AddL(m68k.Imm(1), m68k.D(2))
+	e.CmpL(m68k.Imm(size), m68k.D(2))
+	e.Bne("qw_fw")
+	e.Clr(4, m68k.D(2))
+	e.Label("qw_fw")
+	e.Cmp(4, m68k.Abs(tail), m68k.D(2))
+	e.Beq("qw_slow1") // full: fall into the blocking path
+	e.MoveL(m68k.D(1), m68k.A(0))
+	e.Lea(m68k.Abs(buf), 1)
+	e.MoveB(m68k.Ind(0), m68k.Idx(0, 1, 0, 1)) // buf[head] = *src
+	e.MoveL(m68k.D(2), m68k.Abs(head))         // publish
+	e.AddL(m68k.Imm(1), m68k.Abs(gauge))
+	if fdGauge != 0 {
+		e.AddL(m68k.Imm(1), m68k.Abs(fdGauge))
+	}
+	e.Lea(m68k.Abs(rwait), 0)
+	e.Jsr(io.K.WakeCellRoutine())
+	e.MoveL(m68k.Imm(1), m68k.D(0))
+	e.Rte()
+	e.Label("qw_slow1")
+	e.MoveL(m68k.Imm(1), m68k.D(2)) // restore the length
+
+	e.Label("qw_general")
+	e.TstL(m68k.D(2))
+	e.Beq("qw_zero")
+	e.MoveL(m68k.D(2), m68k.PreDec(7)) // original length
+	e.MoveL(m68k.D(1), m68k.A(0))      // source cursor
+
+	e.Label("qw_outer")
+	e.OrSR(iplMaskBits) // space check and park are atomic vs producers/consumers
+	e.TstL(m68k.D(2))
+	e.Beq("qw_done")
+	e.MoveL(m68k.Abs(head), m68k.D(0))
+	e.MoveL(m68k.Abs(tail), m68k.D(1))
+	// Contiguous space from head: tail > head ? tail-head-1
+	//                                          : size-head (-1 if tail==0)
+	e.Cmp(4, m68k.D(0), m68k.D(1)) // flags = tail - head
+	e.Bhi("qw_caseA")
+	e.TstL(m68k.D(1))
+	e.Bne("qw_b1")
+	e.MoveL(m68k.Imm(size-1), m68k.D(1))
+	e.SubL(m68k.D(0), m68k.D(1))
+	e.Bra("qw_have")
+	e.Label("qw_b1")
+	e.MoveL(m68k.Imm(size), m68k.D(1))
+	e.SubL(m68k.D(0), m68k.D(1))
+	e.Bra("qw_have")
+	e.Label("qw_caseA")
+	e.SubL(m68k.D(0), m68k.D(1))
+	e.SubL(m68k.Imm(1), m68k.D(1))
+	e.Label("qw_have")
+	e.TstL(m68k.D(1))
+	e.Bne("qw_space")
+	// Full: the synchronous queue blocks at queue-full. The mask is
+	// still raised, so no consumer can have drained between the
+	// check and the park; the switch-out frame carries the raised
+	// level and the resume path lowers it.
+	e.MoveL(m68k.A(0), m68k.PreDec(7))
+	e.Lea(m68k.Abs(wwait), 0)
+	e.Jsr(io.K.BlockOnRoutine())
+	e.MoveL(m68k.PostInc(7), m68k.A(0))
+	e.AndSR(^uint16(iplMaskBits))
+	e.Bra("qw_outer")
+	e.Label("qw_space")
+	e.AndSR(^uint16(iplMaskBits)) // data movement runs unmasked
+	// chunk = min(contig, remaining)
+	e.Cmp(4, m68k.D(2), m68k.D(1))
+	e.Bls("qw_c1")
+	e.MoveL(m68k.D(2), m68k.D(1))
+	e.Label("qw_c1")
+	e.Lea(m68k.Abs(buf), 1)
+	e.AddL(m68k.D(0), m68k.A(1)) // dst = buf + head
+	e.SubL(m68k.D(1), m68k.D(2)) // remaining -= chunk
+	e.AddL(m68k.D(1), m68k.D(0)) // head += chunk
+	e.CmpL(m68k.Imm(size), m68k.D(0))
+	e.Bne("qw_w1")
+	e.Clr(4, m68k.D(0))
+	e.Label("qw_w1")
+	e.MoveL(m68k.D(0), m68k.PreDec(7)) // save wrapped head
+	emitCopy(e)                        // chunk bytes, clobbers D0/D1
+	e.MoveL(m68k.PostInc(7), m68k.D(0))
+	e.MoveL(m68k.D(0), m68k.Abs(head)) // publish: last store, as in Figure 1
+	// Wake a reader blocked for data.
+	e.MoveL(m68k.A(0), m68k.PreDec(7))
+	e.Lea(m68k.Abs(rwait), 0)
+	e.Jsr(io.K.WakeCellRoutine())
+	e.MoveL(m68k.PostInc(7), m68k.A(0))
+	e.Bra("qw_outer")
+
+	e.Label("qw_done")
+	e.AndSR(^uint16(iplMaskBits))
+	e.MoveL(m68k.PostInc(7), m68k.D(0))
+	// The gauges measure data-flow rate in bytes (Section 4.4: "the
+	// rate at which I/O data flows"), charged once per call: the
+	// queue's own gauge plus the opener's descriptor gauge that the
+	// fine-grain scheduler reads.
+	e.AddL(m68k.D(0), m68k.Abs(gauge))
+	if fdGauge != 0 {
+		e.AddL(m68k.D(0), m68k.Abs(fdGauge))
+	}
+	e.Rte()
+	e.Label("qw_zero")
+	e.Clr(4, m68k.D(0))
+	e.Rte()
+}
+
+// emitQueueRead emits the body of a blocking bulk read: D1 =
+// destination buffer, D2 = length; returns D0 = bytes read (at least
+// one, up to length — UNIX semantics) and ends with RTE. Clobbers
+// D0-D2, A0, A1.
+func (io *IO) emitQueueRead(e *synth.Emitter, q *KQueue, fdGauge uint32) {
+	head := q.Addr + KQHead
+	tail := q.Addr + KQTail
+	buf := q.Addr + KQBuf
+	rwait := q.Addr + KQRWait
+	wwait := q.Addr + KQWWait
+	gauge := q.Addr + KQGauge
+	size := q.Size
+
+	// Single-byte fast path: Figure 1's get in its shortest form.
+	e.CmpL(m68k.Imm(1), m68k.D(2))
+	e.Bne("qr_general")
+	e.MoveL(m68k.Abs(tail), m68k.D(0))
+	e.Cmp(4, m68k.Abs(head), m68k.D(0))
+	e.Beq("qr_general") // empty: fall into the blocking path
+	e.MoveL(m68k.D(1), m68k.A(1))
+	e.Lea(m68k.Abs(buf), 0)
+	e.MoveB(m68k.Idx(0, 0, 0, 1), m68k.D(2))
+	e.MoveB(m68k.D(2), m68k.Ind(1)) // *dst = buf[tail]
+	e.AddL(m68k.Imm(1), m68k.D(0))
+	e.CmpL(m68k.Imm(size), m68k.D(0))
+	e.Bne("qr_fw")
+	e.Clr(4, m68k.D(0))
+	e.Label("qr_fw")
+	e.MoveL(m68k.D(0), m68k.Abs(tail))
+	e.AddL(m68k.Imm(1), m68k.Abs(gauge))
+	if fdGauge != 0 {
+		e.AddL(m68k.Imm(1), m68k.Abs(fdGauge))
+	}
+	e.Lea(m68k.Abs(wwait), 0)
+	e.Jsr(io.K.WakeCellRoutine())
+	e.MoveL(m68k.Imm(1), m68k.D(0))
+	e.Rte()
+
+	// General path. (The empty single-byte case falls through here
+	// with D2 still holding 1, so no fixup is needed.)
+	e.Label("qr_general")
+	e.TstL(m68k.D(2))
+	e.Beq("qr_zero")
+	e.MoveL(m68k.D(2), m68k.PreDec(7)) // original length
+	e.MoveL(m68k.D(1), m68k.A(1))      // destination cursor
+
+	e.Label("qr_outer")
+	e.OrSR(iplMaskBits)
+	e.TstL(m68k.D(2))
+	e.Beq("qr_done")
+	e.MoveL(m68k.Abs(head), m68k.D(0))
+	e.MoveL(m68k.Abs(tail), m68k.D(1))
+	// Contiguous data from tail: head >= tail ? head-tail : size-tail
+	e.Cmp(4, m68k.D(1), m68k.D(0)) // flags = head - tail
+	e.Bcc("qr_fwd")
+	e.MoveL(m68k.Imm(size), m68k.D(0))
+	e.Label("qr_fwd")
+	e.SubL(m68k.D(1), m68k.D(0)) // contig in D0; tail stays in D1
+	e.Bne("qr_data")
+	// Empty: if something was already read, return it; else park for
+	// data with the mask still raised (no producer can slip in).
+	e.Cmp(4, m68k.Ind(7), m68k.D(2))
+	e.Bne("qr_done") // partial read satisfied
+	e.MoveL(m68k.A(1), m68k.PreDec(7))
+	e.Lea(m68k.Abs(rwait), 0)
+	e.Jsr(io.K.BlockOnRoutine())
+	e.MoveL(m68k.PostInc(7), m68k.A(1))
+	e.AndSR(^uint16(iplMaskBits))
+	e.Bra("qr_outer")
+	e.Label("qr_data")
+	e.AndSR(^uint16(iplMaskBits))
+	// A0 = buf + tail (source), then swap so D1 = contig for min().
+	e.Lea(m68k.Abs(buf), 0)
+	e.AddL(m68k.D(1), m68k.A(0))
+	e.EorL(m68k.D(1), m68k.D(0)) // swap D0 (contig) <-> D1 (tail)
+	e.EorL(m68k.D(0), m68k.D(1))
+	e.EorL(m68k.D(1), m68k.D(0)) // now D0 = tail, D1 = contig
+	e.Cmp(4, m68k.D(2), m68k.D(1))
+	e.Bls("qr_c1")
+	e.MoveL(m68k.D(2), m68k.D(1))
+	e.Label("qr_c1")
+	e.SubL(m68k.D(1), m68k.D(2)) // remaining -= chunk
+	e.AddL(m68k.D(1), m68k.D(0)) // tail += chunk
+	e.CmpL(m68k.Imm(size), m68k.D(0))
+	e.Bne("qr_w1")
+	e.Clr(4, m68k.D(0))
+	e.Label("qr_w1")
+	e.MoveL(m68k.D(0), m68k.PreDec(7)) // save wrapped tail
+	emitCopy(e)
+	e.MoveL(m68k.PostInc(7), m68k.D(0))
+	e.MoveL(m68k.D(0), m68k.Abs(tail))
+	// Wake a writer blocked for space.
+	e.MoveL(m68k.A(1), m68k.PreDec(7))
+	e.Lea(m68k.Abs(wwait), 0)
+	e.Jsr(io.K.WakeCellRoutine())
+	e.MoveL(m68k.PostInc(7), m68k.A(1))
+	e.Bra("qr_outer")
+
+	e.Label("qr_done")
+	e.AndSR(^uint16(iplMaskBits))
+	e.MoveL(m68k.PostInc(7), m68k.D(0))
+	e.SubL(m68k.D(2), m68k.D(0)) // bytes read = requested - remaining
+	e.AddL(m68k.D(0), m68k.Abs(gauge))
+	if fdGauge != 0 {
+		e.AddL(m68k.D(0), m68k.Abs(fdGauge))
+	}
+	e.Rte()
+	e.Label("qr_zero")
+	e.Clr(4, m68k.D(0))
+	e.Rte()
+}

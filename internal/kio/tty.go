@@ -1,0 +1,274 @@
+package kio
+
+import (
+	"synthesis/internal/fs"
+	"synthesis/internal/kernel"
+	"synthesis/internal/m68k"
+	"synthesis/internal/synth"
+)
+
+// The tty device server (Section 5.1): a raw server wrapping the
+// hardware — its interrupt handler is the single producer of a
+// dedicated input queue ("dedicated queues use the knowledge that
+// only one producer is using the queue and omit the synchronization
+// code") — and a cooked filter that interprets the erase and kill
+// control characters. At boot the kernel collapses the layers: the
+// cooked read inlines the raw get-character sequence instead of
+// calling through a pipe (Section 5.4).
+
+const (
+	ttyQueueBytes = 256
+	charErase     = 0x08 // backspace
+	charKill      = 0x15 // ^U
+	charNewline   = 0x0a
+)
+
+// installTTY builds the raw server: the input queue and the
+// interrupt handler (Table 5: "Service raw TTY interrupt: 16 usec"),
+// installed at IRQ 5 in the prototype vectors and all live threads.
+func (io *IO) installTTY() {
+	k := io.K
+	q := io.NewKQueue(ttyQueueBytes)
+	io.ttyQ = q.Addr
+
+	head := q.Addr + KQHead
+	tail := q.Addr + KQTail
+	buf := q.Addr + KQBuf
+	rwait := q.Addr + KQRWait
+	gauge := q.Addr + KQGauge
+	size := q.Size
+	echo := io.echo
+
+	io.ttyIntH = k.C.Synthesize(nil, "tty_intr", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.D(0), m68k.PreDec(7))
+		e.MoveL(m68k.D(1), m68k.PreDec(7))
+		e.MoveL(m68k.A(0), m68k.PreDec(7))
+		e.MoveL(m68k.A(1), m68k.PreDec(7))
+		// Pick up the character (the act of reading clears the
+		// interrupt condition).
+		e.MoveL(m68k.Abs(m68k.TTYBase+m68k.TTYRegData), m68k.D(0))
+		if echo {
+			// Echoing shares the output with user writes, which is
+			// why the paper routes echo through an optimistic queue;
+			// our output register accepts interleaved bytes, so the
+			// echo is a single store.
+			e.MoveB(m68k.D(0), m68k.Abs(m68k.TTYBase+m68k.TTYRegData))
+		}
+		// Dedicated-queue insert: this handler is the only producer.
+		e.MoveL(m68k.Abs(head), m68k.D(1))
+		e.Lea(m68k.Abs(buf), 0)
+		e.MoveB(m68k.D(0), m68k.Idx(0, 0, 1, 1)) // buf[head] = char
+		e.AddL(m68k.Imm(1), m68k.D(1))
+		e.CmpL(m68k.Imm(size), m68k.D(1))
+		e.Bne("nowrap")
+		e.Clr(4, m68k.D(1))
+		e.Label("nowrap")
+		e.Cmp(4, m68k.Abs(tail), m68k.D(1))
+		e.Beq("overflow") // queue full: drop the character
+		e.MoveL(m68k.D(1), m68k.Abs(head))
+		e.AddL(m68k.Imm(1), m68k.Abs(gauge))
+		// "A waiting thread's unblocking procedure is chained to the
+		// end of the interrupt handling" (Section 4.1).
+		e.Lea(m68k.Abs(rwait), 0)
+		e.Jsr(k.WakeCellRoutine())
+		e.Label("overflow")
+		e.MoveL(m68k.PostInc(7), m68k.A(1))
+		e.MoveL(m68k.PostInc(7), m68k.A(0))
+		e.MoveL(m68k.PostInc(7), m68k.D(1))
+		e.MoveL(m68k.PostInc(7), m68k.D(0))
+		e.Rte()
+	})
+	io.pokeAllVectors(m68k.VecAutovector+m68k.IRQTTY, io.ttyIntH)
+
+	// A raw device node alongside the cooked one.
+	mustCreate(k.FS.CreateSpecial("/dev/rawtty", fs.SpecialTTY))
+}
+
+// synthTTY builds the cooked read/write pair (or the raw pair for
+// /dev/rawtty, chosen by the open hook through synthRawTTY).
+func (io *IO) synthTTY(t *kernel.Thread, fd int32) (read, write uint32) {
+	return io.synthCookedRead(t), io.synthTTYWrite(t)
+}
+
+// synthRawTTY builds the raw pair: read is the plain bulk queue read.
+func (io *IO) synthRawTTY(t *kernel.Thread, fd int32) (read, write uint32) {
+	q := &KQueue{Addr: io.ttyQ, Size: ttyQueueBytes}
+	g := kernel.FDCell(t.TTE, int(fd), kernel.FDGauge)
+	read = io.K.C.Synthesize(t.Q, "rawtty_read", nil, func(e *synth.Emitter) {
+		io.emitQueueRead(e, q, g)
+	})
+	return read, io.synthTTYWrite(t)
+}
+
+// synthTTYWrite emits the output path: write(d1=buf, d2=len) -> d0.
+// Output goes byte by byte to the device register.
+func (io *IO) synthTTYWrite(t *kernel.Thread) uint32 {
+	return io.K.C.Synthesize(t.Q, "tty_write", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.D(2), m68k.D(0)) // return count
+		e.TstL(m68k.D(2))
+		e.Beq("tw_done")
+		e.MoveL(m68k.D(1), m68k.A(0))
+		e.MoveL(m68k.D(2), m68k.D(1))
+		e.SubL(m68k.Imm(1), m68k.D(1))
+		e.Label("tw_loop")
+		e.MoveB(m68k.PostInc(0), m68k.Abs(m68k.TTYBase+m68k.TTYRegData))
+		e.Dbra(1, "tw_loop")
+		e.Label("tw_done")
+		e.Rte()
+	})
+}
+
+// SynthLayeredCookedRead builds the UN-collapsed cooked read for the
+// ablation benchmarks: the line discipline is identical, but every
+// character is fetched by calling a separate raw get-character
+// routine — the layered structure the boot-time Collapsing Layers
+// optimization of Section 5.4 eliminates. Returns the read routine's
+// code address (installable on a descriptor by tests).
+func (io *IO) SynthLayeredCookedRead(t *kernel.Thread) uint32 {
+	q := &KQueue{Addr: io.ttyQ, Size: ttyQueueBytes}
+	head := q.Addr + KQHead
+	tail := q.Addr + KQTail
+	buf := q.Addr + KQBuf
+	rwait := q.Addr + KQRWait
+	size := q.Size
+
+	// The raw server's get-character entry point: blocks for a
+	// character, returns it in D0. Clobbers D1, A0.
+	getchar := io.K.C.Synthesize(t.Q, "rawtty_getchar", nil, func(e *synth.Emitter) {
+		e.Label("wait")
+		e.OrSR(iplMaskBits)
+		e.MoveL(m68k.Abs(head), m68k.D(0))
+		e.Cmp(4, m68k.Abs(tail), m68k.D(0))
+		e.Bne("have")
+		e.MoveL(m68k.A(1), m68k.PreDec(7))
+		e.Lea(m68k.Abs(rwait), 0)
+		e.Jsr(io.K.BlockOnRoutine())
+		e.MoveL(m68k.PostInc(7), m68k.A(1))
+		e.AndSR(^uint16(iplMaskBits))
+		e.Bra("wait")
+		e.Label("have")
+		e.AndSR(^uint16(iplMaskBits))
+		e.MoveL(m68k.Abs(tail), m68k.D(1))
+		e.Lea(m68k.Abs(buf), 0)
+		e.Clr(4, m68k.D(0))
+		e.MoveB(m68k.Idx(0, 0, 1, 1), m68k.D(0))
+		e.AddL(m68k.Imm(1), m68k.D(1))
+		e.CmpL(m68k.Imm(size), m68k.D(1))
+		e.Bne("nw")
+		e.Clr(4, m68k.D(1))
+		e.Label("nw")
+		e.MoveL(m68k.D(1), m68k.Abs(tail))
+		e.Rts()
+	})
+
+	return io.K.C.Synthesize(t.Q, "cooked_read_layered", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.D(1), m68k.A(1))
+		e.MoveL(m68k.D(1), m68k.PreDec(7))
+		e.MoveL(m68k.D(2), m68k.PreDec(7))
+		e.Label("loop")
+		e.TstL(m68k.D(2))
+		e.Beq("done")
+		e.Jsr(getchar) // the layer boundary the collapsed version inlines
+		e.CmpL(m68k.Imm(charErase), m68k.D(0))
+		e.Beq("erase")
+		e.CmpL(m68k.Imm(charKill), m68k.D(0))
+		e.Beq("kill")
+		e.MoveB(m68k.D(0), m68k.PostInc(1))
+		e.SubL(m68k.Imm(1), m68k.D(2))
+		e.CmpL(m68k.Imm(charNewline), m68k.D(0))
+		e.Beq("done")
+		e.Bra("loop")
+		e.Label("erase")
+		e.Cmp(4, m68k.Disp(4, 7), m68k.A(1))
+		e.Bls("loop")
+		e.SubL(m68k.Imm(1), m68k.A(1))
+		e.AddL(m68k.Imm(1), m68k.D(2))
+		e.Bra("loop")
+		e.Label("kill")
+		e.MoveL(m68k.Disp(4, 7), m68k.A(1))
+		e.MoveL(m68k.Ind(7), m68k.D(2))
+		e.Bra("loop")
+		e.Label("done")
+		e.MoveL(m68k.A(1), m68k.D(0))
+		e.SubL(m68k.Disp(4, 7), m68k.D(0))
+		e.Lea(m68k.Disp(8, 7), 7)
+		e.Rte()
+	})
+}
+
+// synthCookedRead emits the cooked (line-discipline) read: gather
+// characters into the caller's buffer, interpreting erase and kill,
+// until a newline or the buffer fills. The raw get-character is
+// inlined rather than called — Collapsing Layers, exactly the
+// boot-time optimization Section 5.4 describes for this filter.
+// read(d1=buf, d2=len) -> d0 = line length.
+func (io *IO) synthCookedRead(t *kernel.Thread) uint32 {
+	q := &KQueue{Addr: io.ttyQ, Size: ttyQueueBytes}
+	head := q.Addr + KQHead
+	tail := q.Addr + KQTail
+	buf := q.Addr + KQBuf
+	rwait := q.Addr + KQRWait
+	size := q.Size
+
+	return io.K.C.Synthesize(t.Q, "cooked_read", nil, func(e *synth.Emitter) {
+		// Stack: [orig len][buf base] (top to bottom).
+		e.MoveL(m68k.D(1), m68k.A(1)) // cursor
+		e.MoveL(m68k.D(1), m68k.PreDec(7))
+		e.MoveL(m68k.D(2), m68k.PreDec(7))
+
+		e.Label("cr_loop")
+		e.TstL(m68k.D(2))
+		e.Beq("cr_done")
+		// Inlined raw get-character with the park protected by the
+		// interrupt mask (the producer is the tty interrupt).
+		e.Label("cr_get")
+		e.OrSR(iplMaskBits)
+		e.MoveL(m68k.Abs(head), m68k.D(0))
+		e.Cmp(4, m68k.Abs(tail), m68k.D(0))
+		e.Bne("cr_have")
+		e.MoveL(m68k.A(1), m68k.PreDec(7))
+		e.Lea(m68k.Abs(rwait), 0)
+		e.Jsr(io.K.BlockOnRoutine())
+		e.MoveL(m68k.PostInc(7), m68k.A(1))
+		e.AndSR(^uint16(iplMaskBits))
+		e.Bra("cr_get")
+		e.Label("cr_have")
+		e.AndSR(^uint16(iplMaskBits))
+		e.MoveL(m68k.Abs(tail), m68k.D(1))
+		e.Lea(m68k.Abs(buf), 0)
+		e.Clr(4, m68k.D(0))
+		e.MoveB(m68k.Idx(0, 0, 1, 1), m68k.D(0)) // char = buf[tail]
+		e.AddL(m68k.Imm(1), m68k.D(1))
+		e.CmpL(m68k.Imm(size), m68k.D(1))
+		e.Bne("cr_nw")
+		e.Clr(4, m68k.D(1))
+		e.Label("cr_nw")
+		e.MoveL(m68k.D(1), m68k.Abs(tail))
+		// Line discipline.
+		e.CmpL(m68k.Imm(charErase), m68k.D(0))
+		e.Beq("cr_erase")
+		e.CmpL(m68k.Imm(charKill), m68k.D(0))
+		e.Beq("cr_kill")
+		e.MoveB(m68k.D(0), m68k.PostInc(1))
+		e.SubL(m68k.Imm(1), m68k.D(2))
+		e.CmpL(m68k.Imm(charNewline), m68k.D(0))
+		e.Beq("cr_done")
+		e.Bra("cr_loop")
+		e.Label("cr_erase")
+		e.Cmp(4, m68k.Disp(4, 7), m68k.A(1)) // cursor vs base
+		e.Bls("cr_loop")                     // nothing to erase
+		e.SubL(m68k.Imm(1), m68k.A(1))
+		e.AddL(m68k.Imm(1), m68k.D(2))
+		e.Bra("cr_loop")
+		e.Label("cr_kill")
+		e.MoveL(m68k.Disp(4, 7), m68k.A(1)) // cursor = base
+		e.MoveL(m68k.Ind(7), m68k.D(2))     // remaining = orig len
+		e.Bra("cr_loop")
+
+		e.Label("cr_done")
+		e.MoveL(m68k.A(1), m68k.D(0))
+		e.SubL(m68k.Disp(4, 7), m68k.D(0)) // count = cursor - base
+		e.Lea(m68k.Disp(8, 7), 7)          // drop the two saves
+		e.Rte()
+	})
+}

@@ -1,0 +1,207 @@
+package m68k_test
+
+import (
+	"errors"
+	"testing"
+
+	"synthesis/internal/asmkit"
+	"synthesis/internal/m68k"
+)
+
+func TestDiskWriteCommand(t *testing.T) {
+	m := newM(t)
+	disk := m68k.NewDisk(m, 8)
+	m.Attach(disk)
+	m.PokeBytes(0x7000, []byte("write me to block 5"))
+
+	h := asmkit.New()
+	h.MoveL(m68k.Imm(1), m68k.D(5))
+	h.Rte()
+	m.Poke(m.VBR+uint32(m68k.VecAutovector+m68k.IRQDisk)*4, 4, h.Link(m))
+
+	b := asmkit.New()
+	b.MoveL(m68k.Imm(5), m68k.Abs(m68k.DiskBase+m68k.DiskRegBlock))
+	b.MoveL(m68k.Imm(0x7000), m68k.Abs(m68k.DiskBase+m68k.DiskRegAddr))
+	b.MoveL(m68k.Imm(2), m68k.Abs(m68k.DiskBase+m68k.DiskRegCmd)) // write
+	b.AndSR(^uint16(7 << 8))
+	b.Label("wait")
+	b.TstL(m68k.D(5))
+	b.Beq("wait")
+	b.Halt()
+	run(t, m, b.Link(m))
+	if got := string(disk.Blocks[5][:19]); got != "write me to block 5" {
+		t.Errorf("disk block 5 = %q", got)
+	}
+}
+
+func TestADDropCounting(t *testing.T) {
+	m := newM(t)
+	ad := m68k.NewAD(m)
+	m.Attach(ad)
+	// Start the sampler but never read the data register: every
+	// sample after the first overwrites an unread one.
+	b := asmkit.New()
+	b.MoveL(m68k.Imm(1), m68k.Abs(m68k.ADBase+m68k.ADRegCtl))
+	// Interrupts stay masked; just burn time for ~6 sample periods.
+	b.MoveL(m68k.Imm(2000), m68k.D(0))
+	b.Label("spin")
+	b.Dbra(0, "spin")
+	b.MoveL(m68k.Abs(m68k.ADBase+m68k.ADRegStatus), m68k.D(6))
+	b.Halt()
+	run(t, m, b.Link(m))
+	if m.D[6] == 0 {
+		t.Error("unconsumed samples were not counted as dropped")
+	}
+	if ad.Dropped != uint64(m.D[6]) {
+		t.Errorf("host view %d != device register %d", ad.Dropped, m.D[6])
+	}
+}
+
+func TestConsoleDevice(t *testing.T) {
+	m := newM(t)
+	cons := m68k.NewCons()
+	m.Attach(cons)
+	b := asmkit.New()
+	for _, c := range []byte("ok") {
+		b.MoveB(m68k.Imm(int32(c)), m68k.Abs(m68k.ConsBase))
+	}
+	b.Halt()
+	run(t, m, b.Link(m))
+	if cons.Output() != "ok" {
+		t.Errorf("console output %q", cons.Output())
+	}
+}
+
+func TestMoveFromToSR(t *testing.T) {
+	m := newM(t)
+	b := asmkit.New()
+	b.MoveFromSR(m68k.D(0))
+	b.OrSR(0x0700) // raise the mask
+	b.MoveFromSR(m68k.D(1))
+	b.MoveToSR(m68k.D(0)) // restore
+	b.MoveFromSR(m68k.D(2))
+	b.Halt()
+	run(t, m, b.Link(m))
+	if m.D[1]&0x0700 != 0x0700 {
+		t.Errorf("mask not raised: SR copy %#x", m.D[1])
+	}
+	if m.D[2] != m.D[0] {
+		t.Errorf("SR not restored: %#x vs %#x", m.D[2], m.D[0])
+	}
+}
+
+func TestPrivilegedOpsTrapInUserMode(t *testing.T) {
+	m := newM(t)
+	h := asmkit.New()
+	h.MoveL(m68k.Imm(0xbad), m68k.D(6))
+	h.Halt()
+	m.Poke(m.VBR+uint32(m68k.VecPrivilege)*4, 4, h.Link(m))
+
+	b := asmkit.New()
+	b.MoveL(m68k.Imm(0x4000), m68k.D(0))
+	b.MovecTo(m68k.CtrlUSP, m68k.D(0))
+	b.MoveLabelL("user", m68k.PreDec(7))
+	b.MoveL(m68k.Imm(0), m68k.PreDec(7))
+	b.Rte()
+	b.Label("user")
+	b.OrSR(0x0700) // privileged in user mode: traps
+	b.Halt()
+	run(t, m, b.Link(m))
+	if m.D[6] != 0xbad {
+		t.Error("privileged instruction in user mode did not trap")
+	}
+}
+
+func TestCASWordAndByteSizes(t *testing.T) {
+	m := newM(t)
+	m.Poke(0x3000, 2, 0x1234)
+	b := asmkit.New()
+	b.MoveL(m68k.Imm(0x1234), m68k.D(0))
+	b.MoveL(m68k.Imm(0x5678), m68k.D(1))
+	b.Cas(2, 0, 1, m68k.Abs(0x3000))
+	b.Beq("ok")
+	b.MoveL(m68k.Imm(1), m68k.D(7))
+	b.Halt()
+	b.Label("ok")
+	b.Halt()
+	run(t, m, b.Link(m))
+	if m.D[7] != 0 {
+		t.Fatal("word cas failed")
+	}
+	if got := m.Peek(0x3000, 2); got != 0x5678 {
+		t.Errorf("word cas stored %#x", got)
+	}
+}
+
+func TestTimerNowRegisters(t *testing.T) {
+	m := newM(t)
+	m.Attach(m68k.NewTimer(m))
+	b := asmkit.New()
+	b.MoveL(m68k.Abs(m68k.TimerBase+m68k.TimerRegNowLo), m68k.D(0))
+	b.MoveL(m68k.Imm(100), m68k.D(2))
+	b.Label("spin")
+	b.Dbra(2, "spin")
+	b.MoveL(m68k.Abs(m68k.TimerBase+m68k.TimerRegNowLo), m68k.D(1))
+	b.Halt()
+	run(t, m, b.Link(m))
+	if m.D[1] <= m.D[0] {
+		t.Errorf("cycle counter did not advance: %d -> %d", m.D[0], m.D[1])
+	}
+}
+
+func TestRunUntilStopsAtTarget(t *testing.T) {
+	m := newM(t)
+	b := asmkit.New()
+	b.MoveL(m68k.Imm(1), m68k.D(0))
+	b.Label("target")
+	b.MoveL(m68k.Imm(2), m68k.D(0))
+	b.Halt()
+	base := b.Link(m)
+	m.PC = base
+	if err := m.RunUntil(b.AddrOf("target", base), 1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.D[0] != 1 {
+		t.Errorf("RunUntil overshot: D0 = %d", m.D[0])
+	}
+	if m.PC != b.AddrOf("target", base) {
+		t.Errorf("PC = %d", m.PC)
+	}
+}
+
+func TestCycleLimit(t *testing.T) {
+	m := newM(t)
+	b := asmkit.New()
+	b.Label("forever")
+	b.Bra("forever")
+	m.PC = b.Link(m)
+	if err := m.Run(500); !errors.Is(err, m68k.ErrCycleLimit) {
+		t.Errorf("got %v, want ErrCycleLimit", err)
+	}
+}
+
+func TestDisassembleOutput(t *testing.T) {
+	m := newM(t)
+	b := asmkit.New()
+	b.MoveL(m68k.Imm(5), m68k.D(0))
+	b.Cas(4, 0, 1, m68k.Abs(0x3000))
+	b.MovemSave(0x7fff, m68k.PreDec(7))
+	b.Trap(3)
+	b.Halt()
+	addr := b.Link(m)
+	s := m68k.Disassemble(m.Code, addr, 5)
+	for _, want := range []string{"move.l #5,d0", "cas", "movem", "trap #3", "halt"} {
+		if !containsStr(s, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,510 @@
+package m68k
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Status register bits.
+const (
+	FlagC uint16 = 1 << 0 // carry
+	FlagV uint16 = 1 << 1 // overflow
+	FlagZ uint16 = 1 << 2 // zero
+	FlagN uint16 = 1 << 3 // negative
+	FlagX uint16 = 1 << 4 // extend
+
+	iplShift        = 8
+	iplMask  uint16 = 7 << iplShift
+	FlagS    uint16 = 1 << 13 // supervisor state
+	FlagT    uint16 = 1 << 15 // trace
+)
+
+// Exception vector numbers (68k conventions).
+const (
+	VecBusError     = 2
+	VecAddressError = 3
+	VecIllegal      = 4
+	VecZeroDivide   = 5
+	VecPrivilege    = 8
+	VecTrace        = 9
+	VecLineF        = 11 // co-processor protocol violation: first FP use
+	VecAutovector   = 24 // +level 1..7 for interrupt autovectors
+	VecTrapBase     = 32 // +n for TRAP #n
+	NumVectors      = 64
+)
+
+// VectorTableBytes is the size of one vector table in memory. Each
+// Synthesis thread carries its own table (the TTE's vector table).
+const VectorTableBytes = NumVectors * 4
+
+// Errors returned by execution. ErrHalted is the normal "machine
+// executed HALT" condition; the others indicate simulation bugs or
+// deliberately provoked faults in tests.
+var (
+	ErrHalted     = errors.New("m68k: machine halted")
+	ErrCycleLimit = errors.New("m68k: cycle limit reached")
+)
+
+// BusFault describes an access outside mapped memory. It doubles as
+// the Go-visible form of a double fault: the interpreter converts a
+// fault into a VM exception when a handler is installed, and returns
+// the fault to the caller when vectoring itself faults.
+type BusFault struct {
+	Addr  uint32
+	Write bool
+	PC    uint32
+}
+
+func (b *BusFault) Error() string {
+	k := "read"
+	if b.Write {
+		k = "write"
+	}
+	return fmt.Sprintf("m68k: bus fault: %s at $%08x (pc %d)", k, b.Addr, b.PC)
+}
+
+// Service is a host escape invoked by KCALL. It may inspect and
+// modify the machine, and returns the number of additional cycles to
+// charge (a modeled cost for work not expressed as VM code).
+type Service func(m *Machine) uint64
+
+// Device models a memory-mapped peripheral. Loads and stores in the
+// device's address window are routed to it; Tick lets the device act
+// on the advance of simulated time and request interrupts.
+type Device interface {
+	// Name identifies the device in diagnostics.
+	Name() string
+	// Base and Size define the register window in physical memory.
+	Base() uint32
+	Size() uint32
+	// Load reads a device register (offset relative to Base).
+	Load(off uint32, sz uint8) uint32
+	// Store writes a device register.
+	Store(off uint32, sz uint8, val uint32)
+	// Tick advances the device to absolute cycle time t. It returns
+	// the interrupt priority level (1-7) it wants to assert, or 0,
+	// plus the cycle time of its next event (0 = no scheduled event).
+	Tick(t uint64) (irq int, next uint64)
+}
+
+// Config sets the machine's hardware parameters. The zero value is
+// adjusted to the Quamachine's native configuration; SUN 3/160
+// emulation mode is 16 MHz with one wait state (Section 6.1).
+type Config struct {
+	MemSize    uint32  // bytes of RAM (default 4 MiB)
+	CodeSize   uint32  // instructions of code space (default 1 Mi)
+	ClockMHz   float64 // CPU clock (default 50)
+	WaitStates int     // extra cycles per memory reference (default 0)
+	TraceDepth int     // execution trace ring size (0 = tracing off)
+}
+
+// Sun3Config returns the configuration that emulates a SUN 3/160 as
+// in the paper: 16 MHz and one memory wait state.
+func Sun3Config() Config {
+	return Config{ClockMHz: 16, WaitStates: 1}
+}
+
+// NativeConfig returns the Quamachine's native 50 MHz no-wait-state
+// configuration.
+func NativeConfig() Config {
+	return Config{ClockMHz: 50, WaitStates: 0}
+}
+
+// Machine is one Quamachine CPU with its memory, code space and
+// devices.
+type Machine struct {
+	// CPU state.
+	D   [8]uint32 // data registers
+	A   [8]uint32 // address registers; A[7] is the active stack pointer
+	FP  [8]float64
+	PC  uint32
+	SR  uint16
+	VBR uint32
+	USP uint32 // saved user stack pointer while in supervisor state
+	SSP uint32 // saved supervisor stack pointer while in user state
+
+	// Quaspace protection: in user state, accesses outside
+	// [UBase, ULimit) take a bus-error exception (the kernel "blanks
+	// out the part of the address space that each quaspace is not
+	// supposed to see", Section 2.1). ULimit == 0 disables the check.
+	UBase  uint32
+	ULimit uint32
+
+	// FPTrap makes the first FP instruction raise a line-F exception,
+	// implementing the lazy floating-point context switch of
+	// Section 4.2: the kernel's handler resynthesizes the context
+	// switch code to include FP state and clears the flag.
+	FPTrap bool
+
+	// Memory and code.
+	Mem     []byte
+	Code    []Instr
+	CodeTop uint32 // next free code-space slot (bump allocated)
+
+	// Timing model.
+	ClockMHz   float64
+	WaitStates int
+
+	// Measurement facilities (Section 6.1: the Quamachine is
+	// instrumented with an instruction counter, a memory reference
+	// counter and a microsecond-resolution interval timer).
+	Cycles  uint64
+	Instrs  uint64
+	MemRefs uint64
+	Trace   *Trace
+
+	// Interrupts and devices.
+	devices  []Device
+	devNext  []uint64 // per-device next event time (0 = none)
+	pendIRQ  uint8    // bitmask of pending interrupt levels
+	stopped  bool     // STOP executed; waiting for interrupt
+	halted   bool
+	services map[uint8]Service
+}
+
+// New creates a machine with the given configuration.
+func New(cfg Config) *Machine {
+	if cfg.MemSize == 0 {
+		cfg.MemSize = 4 << 20
+	}
+	if cfg.CodeSize == 0 {
+		cfg.CodeSize = 1 << 20
+	}
+	if cfg.ClockMHz == 0 {
+		cfg.ClockMHz = 50
+	}
+	m := &Machine{
+		Mem:        make([]byte, cfg.MemSize),
+		Code:       make([]Instr, 0, 4096),
+		ClockMHz:   cfg.ClockMHz,
+		WaitStates: cfg.WaitStates,
+		services:   make(map[uint8]Service),
+		SR:         FlagS | iplMask, // boot in supervisor state, interrupts masked
+	}
+	if cfg.TraceDepth > 0 {
+		m.Trace = NewTrace(cfg.TraceDepth)
+	}
+	return m
+}
+
+// Micros converts a cycle count to microseconds at the machine's
+// clock rate.
+func (m *Machine) Micros(cycles uint64) float64 {
+	return float64(cycles) / m.ClockMHz
+}
+
+// Now returns the current simulated time in microseconds.
+func (m *Machine) Now() float64 { return m.Micros(m.Cycles) }
+
+// Supervisor reports whether the CPU is in supervisor state.
+func (m *Machine) Supervisor() bool { return m.SR&FlagS != 0 }
+
+// IPL returns the current interrupt priority mask level.
+func (m *Machine) IPL() int { return int(m.SR&iplMask) >> iplShift }
+
+// SetIPL sets the interrupt priority mask level.
+func (m *Machine) SetIPL(l int) {
+	m.SR = m.SR&^iplMask | uint16(l)<<iplShift&iplMask
+}
+
+// Halted reports whether HALT has been executed.
+func (m *Machine) Halted() bool { return m.halted }
+
+// ClearHalt lets a halted machine run again (simulation control: the
+// harness reuses one machine for several measured programs).
+func (m *Machine) ClearHalt() { m.halted = false }
+
+// RegisterService installs a KCALL host service under the given id.
+func (m *Machine) RegisterService(id uint8, s Service) {
+	m.services[id] = s
+}
+
+// Attach adds a memory-mapped device.
+func (m *Machine) Attach(d Device) {
+	m.devices = append(m.devices, d)
+	m.devNext = append(m.devNext, 0)
+	m.tickDevice(len(m.devices)-1, m.Cycles)
+}
+
+// Devices returns the attached devices.
+func (m *Machine) Devices() []Device { return m.devices }
+
+// FindDevice returns the attached device with the given name, or nil.
+func (m *Machine) FindDevice(name string) Device {
+	for _, d := range m.devices {
+		if d.Name() == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// PostInterrupt asserts an interrupt at the given priority level
+// (1-7). Used by devices and by tests.
+func (m *Machine) PostInterrupt(level int) {
+	if level >= 1 && level <= 7 {
+		m.pendIRQ |= 1 << uint(level)
+	}
+}
+
+// deviceFor returns the device mapping addr, or nil.
+func (m *Machine) deviceFor(addr uint32) Device {
+	for _, d := range m.devices {
+		if addr >= d.Base() && addr < d.Base()+d.Size() {
+			return d
+		}
+	}
+	return nil
+}
+
+// memCost is the cycle cost of one memory reference.
+func (m *Machine) memCost() uint64 {
+	return uint64(cycMemRef + m.WaitStates)
+}
+
+// chargeMem accounts for n memory references.
+func (m *Machine) chargeMem(n int) {
+	m.MemRefs += uint64(n)
+	m.Cycles += uint64(n) * m.memCost()
+}
+
+// Kick re-polls a device immediately. Devices call it (and the
+// machine calls it after register accesses) so that freshly armed
+// events are scheduled even between Tick calls.
+func (m *Machine) Kick(d Device) {
+	for i, dd := range m.devices {
+		if dd == d {
+			m.tickDevice(i, m.Cycles)
+			return
+		}
+	}
+}
+
+// Load reads sz bytes big-endian from addr. Device windows are routed
+// to the owning device. The access is charged to the cycle and
+// memory-reference counters.
+func (m *Machine) Load(addr uint32, sz uint8) (uint32, error) {
+	m.chargeMem(1)
+	if d := m.deviceFor(addr); d != nil {
+		v := d.Load(addr-d.Base(), sz)
+		m.Kick(d)
+		return v, nil
+	}
+	if int(addr)+int(sz) > len(m.Mem) {
+		return 0, &BusFault{Addr: addr, PC: m.PC}
+	}
+	return m.loadRaw(addr, sz), nil
+}
+
+// loadRaw reads memory without charge or device routing.
+func (m *Machine) loadRaw(addr uint32, sz uint8) uint32 {
+	switch sz {
+	case 1:
+		return uint32(m.Mem[addr])
+	case 2:
+		return uint32(m.Mem[addr])<<8 | uint32(m.Mem[addr+1])
+	default:
+		return uint32(m.Mem[addr])<<24 | uint32(m.Mem[addr+1])<<16 |
+			uint32(m.Mem[addr+2])<<8 | uint32(m.Mem[addr+3])
+	}
+}
+
+// Store writes sz bytes big-endian to addr, with device routing and
+// cycle charging.
+func (m *Machine) Store(addr uint32, sz uint8, val uint32) error {
+	m.chargeMem(1)
+	if d := m.deviceFor(addr); d != nil {
+		d.Store(addr-d.Base(), sz, val)
+		m.Kick(d)
+		return nil
+	}
+	if int(addr)+int(sz) > len(m.Mem) {
+		return &BusFault{Addr: addr, Write: true, PC: m.PC}
+	}
+	m.storeRaw(addr, sz, val)
+	return nil
+}
+
+// storeRaw writes memory without charge or device routing.
+func (m *Machine) storeRaw(addr uint32, sz uint8, val uint32) {
+	switch sz {
+	case 1:
+		m.Mem[addr] = byte(val)
+	case 2:
+		m.Mem[addr] = byte(val >> 8)
+		m.Mem[addr+1] = byte(val)
+	default:
+		m.Mem[addr] = byte(val >> 24)
+		m.Mem[addr+1] = byte(val >> 16)
+		m.Mem[addr+2] = byte(val >> 8)
+		m.Mem[addr+3] = byte(val)
+	}
+}
+
+// Peek reads memory for the benefit of the host (no cycle charge, no
+// device routing). Out-of-range reads return 0.
+func (m *Machine) Peek(addr uint32, sz uint8) uint32 {
+	if int(addr)+int(sz) > len(m.Mem) {
+		return 0
+	}
+	return m.loadRaw(addr, sz)
+}
+
+// Poke writes memory for the benefit of the host (no cycle charge).
+func (m *Machine) Poke(addr uint32, sz uint8, val uint32) {
+	if int(addr)+int(sz) <= len(m.Mem) {
+		m.storeRaw(addr, sz, val)
+	}
+}
+
+// PeekBytes copies n bytes out of memory for the host.
+func (m *Machine) PeekBytes(addr uint32, n int) []byte {
+	out := make([]byte, n)
+	copy(out, m.Mem[addr:])
+	return out
+}
+
+// PokeBytes copies bytes into memory for the host.
+func (m *Machine) PokeBytes(addr uint32, b []byte) {
+	copy(m.Mem[addr:], b)
+}
+
+// AllocCode reserves n instruction slots in code space and returns
+// the address of the first. Synthesized routines are emitted here at
+// run time; the kernel allocates regions per quaject.
+func (m *Machine) AllocCode(n int) uint32 {
+	addr := uint32(len(m.Code))
+	m.Code = append(m.Code, make([]Instr, n)...)
+	m.CodeTop = uint32(len(m.Code))
+	return addr
+}
+
+// SetCode installs instructions at a previously allocated code
+// address. Patching already-installed code is legal: executable data
+// structures (Section 2.2) depend on it.
+func (m *Machine) SetCode(addr uint32, code []Instr) {
+	copy(m.Code[addr:], code)
+}
+
+// Emit appends code at the end of code space and returns its address.
+func (m *Machine) Emit(code []Instr) uint32 {
+	addr := m.AllocCode(len(code))
+	m.SetCode(addr, code)
+	return addr
+}
+
+// push stores a long word on the active stack.
+func (m *Machine) push(val uint32) error {
+	m.A[7] -= 4
+	return m.Store(m.A[7], 4, val)
+}
+
+// pop loads a long word from the active stack.
+func (m *Machine) pop() (uint32, error) {
+	v, err := m.Load(m.A[7], 4)
+	m.A[7] += 4
+	return v, err
+}
+
+// enterSupervisor switches the active stack to the supervisor stack
+// if the CPU was in user state.
+func (m *Machine) enterSupervisor() {
+	if m.SR&FlagS == 0 {
+		m.USP = m.A[7]
+		m.A[7] = m.SSP
+		m.SR |= FlagS
+	}
+}
+
+// leaveSupervisor restores user state if the new SR has S clear.
+func (m *Machine) applySR(newSR uint16) {
+	wasS := m.SR&FlagS != 0
+	m.SR = newSR
+	isS := m.SR&FlagS != 0
+	if wasS && !isS {
+		m.SSP = m.A[7]
+		m.A[7] = m.USP
+	} else if !wasS && isS {
+		m.USP = m.A[7]
+		m.A[7] = m.SSP
+	}
+}
+
+// Exception vectors the CPU through vector v: pushes SR and PC on the
+// supervisor stack and loads the handler address from the vector
+// table at VBR. The vector-table slot holds a code-space address.
+func (m *Machine) Exception(v int) error {
+	oldSR := m.SR
+	m.enterSupervisor()
+	// Exception entry clears the trace bit (as on the 68k): handlers
+	// run untraced; the stacked SR preserves the flag for RTE.
+	m.SR &^= FlagT
+	m.stopped = false
+	m.Cycles += uint64(cycException)
+	if err := m.push(m.PC); err != nil {
+		return err
+	}
+	if err := m.push(uint32(oldSR)); err != nil {
+		return err
+	}
+	handler, err := m.Load(m.VBR+uint32(v)*4, 4)
+	if err != nil {
+		return err
+	}
+	if m.Trace != nil {
+		m.Trace.RecordException(v, m.PC)
+	}
+	m.PC = handler
+	return nil
+}
+
+// tickDevice advances one device and records its next event.
+func (m *Machine) tickDevice(i int, t uint64) {
+	irq, next := m.devices[i].Tick(t)
+	if irq > 0 {
+		m.PostInterrupt(irq)
+	}
+	m.devNext[i] = next
+}
+
+// pollDevices advances all devices whose next event time has come.
+func (m *Machine) pollDevices() {
+	for i := range m.devices {
+		if n := m.devNext[i]; n != 0 && n <= m.Cycles {
+			m.tickDevice(i, m.Cycles)
+		}
+	}
+}
+
+// pendingLevel returns the highest pending interrupt level above the
+// current mask, or 0.
+func (m *Machine) pendingLevel() int {
+	if m.pendIRQ == 0 {
+		return 0
+	}
+	for l := 7; l >= 1; l-- {
+		if m.pendIRQ&(1<<uint(l)) != 0 {
+			// Level 7 is non-maskable on the 68k.
+			if l > m.IPL() || l == 7 {
+				return l
+			}
+			return 0
+		}
+	}
+	return 0
+}
+
+// takeInterrupt dispatches the highest pending interrupt if the mask
+// allows. Reports whether an interrupt was taken.
+func (m *Machine) takeInterrupt() (bool, error) {
+	l := m.pendingLevel()
+	if l == 0 {
+		return false, nil
+	}
+	m.pendIRQ &^= 1 << uint(l)
+	if err := m.Exception(VecAutovector + l); err != nil {
+		return false, err
+	}
+	m.SetIPL(l)
+	return true, nil
+}

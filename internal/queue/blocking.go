@@ -1,0 +1,210 @@
+package queue
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// NonBlocking is the interface every optimistic queue in this package
+// satisfies: best-effort put and get.
+type NonBlocking[T any] interface {
+	TryPut(T) bool
+	TryGet() (T, bool)
+	Len() int
+	Cap() int
+}
+
+// Locked is the traditional blocking bounded queue: one mutex and two
+// condition variables. It is both the paper's "synchronous queue"
+// (block at queue full or queue empty) built the conventional way and
+// the locking baseline the ablation benchmarks compare the optimistic
+// queues against — the kind of "powerful mutual exclusion mechanism"
+// Section 1 says traditional kernels reach for.
+type Locked[T any] struct {
+	mu       sync.Mutex
+	notFull  sync.Cond
+	notEmpty sync.Cond
+	buf      []T
+	head     int
+	tail     int
+	n        int
+	closed   bool
+}
+
+// NewLocked creates a blocking queue holding up to size items.
+func NewLocked[T any](size int) *Locked[T] {
+	if size < 1 {
+		panic("queue: size must be positive")
+	}
+	q := &Locked[T]{buf: make([]T, size)}
+	q.notFull.L = &q.mu
+	q.notEmpty.L = &q.mu
+	return q
+}
+
+// Cap returns the queue capacity.
+func (q *Locked[T]) Cap() int { return len(q.buf) }
+
+// Len returns the number of queued items.
+func (q *Locked[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// TryPut appends without blocking, reporting false when full or
+// closed.
+func (q *Locked[T]) TryPut(v T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.n == len(q.buf) {
+		return false
+	}
+	q.put(v)
+	return true
+}
+
+// Put appends, blocking while the queue is full. It reports false if
+// the queue is closed.
+func (q *Locked[T]) Put(v T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == len(q.buf) && !q.closed {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return false
+	}
+	q.put(v)
+	return true
+}
+
+func (q *Locked[T]) put(v T) {
+	q.buf[q.head] = v
+	q.head = (q.head + 1) % len(q.buf)
+	q.n++
+	q.notEmpty.Signal()
+}
+
+// TryGet removes without blocking, reporting false when empty.
+func (q *Locked[T]) TryGet() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.n == 0 {
+		var zero T
+		return zero, false
+	}
+	return q.get(), true
+}
+
+// Get removes, blocking while the queue is empty. It reports false
+// when the queue is closed and drained.
+func (q *Locked[T]) Get() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.n == 0 {
+		var zero T
+		return zero, false
+	}
+	return q.get(), true
+}
+
+func (q *Locked[T]) get() T {
+	v := q.buf[q.tail]
+	var zero T
+	q.buf[q.tail] = zero
+	q.tail = (q.tail + 1) % len(q.buf)
+	q.n--
+	q.notFull.Signal()
+	return v
+}
+
+// Close wakes all blocked callers; subsequent puts fail and gets
+// drain the remaining items.
+func (q *Locked[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.notFull.Broadcast()
+	q.notEmpty.Broadcast()
+}
+
+// Blocking adapts a non-blocking optimistic queue into a blocking
+// ("synchronous") one by spinning with progressive backoff: a few
+// busy retries, then yields, then short sleeps. This preserves the
+// lock-free fast path — when the queue is neither full nor empty, a
+// Put or Get costs exactly one underlying Try operation.
+type Blocking[T any] struct {
+	Q NonBlocking[T]
+}
+
+// backoff escalates from busy spinning to yielding to sleeping.
+func backoff(attempt int) {
+	switch {
+	case attempt < 8:
+		// busy spin
+	case attempt < 64:
+		runtime.Gosched()
+	default:
+		time.Sleep(10 * time.Microsecond)
+	}
+}
+
+// Put appends, waiting while the queue is full.
+func (b Blocking[T]) Put(v T) {
+	for i := 0; ; i++ {
+		if b.Q.TryPut(v) {
+			return
+		}
+		backoff(i)
+	}
+}
+
+// Get removes, waiting while the queue is empty.
+func (b Blocking[T]) Get() T {
+	for i := 0; ; i++ {
+		if v, ok := b.Q.TryGet(); ok {
+			return v
+		}
+		backoff(i)
+	}
+}
+
+// Notify is the paper's "asynchronous queue": instead of blocking, it
+// signals at the interesting transitions. OnNotEmpty fires after a
+// put that found the queue apparently empty; OnNotFull fires after a
+// get that found it apparently full. With a single consumer (the
+// usual kernel configuration: an interrupt handler producing, a
+// thread consuming) the empty-transition signal is exact, which is
+// what the unblocking chain in Section 4.1 needs.
+type Notify[T any] struct {
+	Q          NonBlocking[T]
+	OnNotEmpty func()
+	OnNotFull  func()
+}
+
+// TryPut appends and fires OnNotEmpty on the empty transition.
+func (n Notify[T]) TryPut(v T) bool {
+	wasEmpty := n.Q.Len() == 0
+	if !n.Q.TryPut(v) {
+		return false
+	}
+	if wasEmpty && n.OnNotEmpty != nil {
+		n.OnNotEmpty()
+	}
+	return true
+}
+
+// TryGet removes and fires OnNotFull on the full transition.
+func (n Notify[T]) TryGet() (T, bool) {
+	wasFull := n.Q.Len() == n.Q.Cap()
+	v, ok := n.Q.TryGet()
+	if ok && wasFull && n.OnNotFull != nil {
+		n.OnNotFull()
+	}
+	return v, ok
+}

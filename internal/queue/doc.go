@@ -1,0 +1,32 @@
+// Package queue implements the Synthesis kernel's optimistic queues
+// (Massalin & Pu, SOSP 1989, Section 3.2) as a production Go library.
+//
+// The paper classifies queues by their operating environment —
+// single- or multiple-producer crossed with single- or multiple-
+// consumer — and, applying the principle of frugality, uses the
+// cheapest implementation that is safe for each case:
+//
+//   - Dedicated: one goroutine owns both ends; no synchronization at
+//     all ("dedicated queues ... omit the synchronization code").
+//   - SPSC (Figure 1): producer and consumer touch disjoint variables
+//     (Code Isolation); the only synchronization is the ordering of
+//     the final index store.
+//   - MPSC (Figure 2): producers stake a claim to buffer space with a
+//     single compare-and-swap and a retry loop; a valid-flag array
+//     tells the consumer which claimed slots have been filled, which
+//     also yields atomic multi-item insert (PutBatch).
+//   - SPMC: the mirror image, consumers claim with compare-and-swap.
+//   - MPMC: both ends claim with compare-and-swap; per-slot sequence
+//     numbers generalize the valid-flag array and make the queue safe
+//     across index wraparound.
+//
+// All optimistic queues are lock-free and non-blocking: TryPut and
+// TryGet return false instead of waiting. The paper's "synchronous"
+// (blocking) and "asynchronous" (signalling) kinds are provided as
+// wrappers: Locked is a mutex-and-condition blocking queue (it doubles
+// as the traditional baseline the ablation benchmarks compare
+// against), Blocking adapts any optimistic queue into a blocking one,
+// and Notify adds edge-triggered callbacks on empty/non-empty
+// transitions. Buffered amortizes per-item overhead by batching items
+// into chunks, as the A/D device server does in Section 5.4.
+package queue

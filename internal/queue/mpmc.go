@@ -1,0 +1,103 @@
+package queue
+
+import "sync/atomic"
+
+// MPMC is the multiple-producer multiple-consumer optimistic queue.
+// The paper builds MP-MC by attaching the compare-and-swap claim to
+// both ends; the per-slot valid flag generalizes to a per-slot
+// sequence number so a slot can tell whether it is ready for the
+// producer or the consumer of a given lap, which keeps the queue
+// correct across index wraparound with any number of participants on
+// both sides.
+//
+// Any number of goroutines may call TryPut and TryGet.
+type MPMC[T any] struct {
+	slots []mpmcSlot[T]
+	head  atomic.Int64
+	tail  atomic.Int64
+}
+
+type mpmcSlot[T any] struct {
+	seq atomic.Int64
+	v   T
+}
+
+// NewMPMC creates an MPMC queue holding up to size items. The
+// effective capacity is at least 2: with a single slot the sequence
+// scheme cannot distinguish "free for lap h" from "still full from
+// lap h-1" (both read h), so one-slot queues are silently widened.
+func NewMPMC[T any](size int) *MPMC[T] {
+	if size < 1 {
+		panic("queue: size must be positive")
+	}
+	if size < 2 {
+		size = 2
+	}
+	q := &MPMC[T]{slots: make([]mpmcSlot[T], size)}
+	for i := range q.slots {
+		q.slots[i].seq.Store(int64(i))
+	}
+	return q
+}
+
+// Cap returns the queue capacity.
+func (q *MPMC[T]) Cap() int { return len(q.slots) }
+
+// Len returns the apparent number of items; approximate under
+// concurrency.
+func (q *MPMC[T]) Len() int {
+	n := q.head.Load() - q.tail.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}
+
+// TryPut appends one item, reporting false when the queue is full.
+func (q *MPMC[T]) TryPut(v T) bool {
+	size := int64(len(q.slots))
+	for {
+		h := q.head.Load()
+		s := &q.slots[h%size]
+		seq := s.seq.Load()
+		switch {
+		case seq == h:
+			// Slot is free for lap h: stake the claim.
+			if q.head.CompareAndSwap(h, h+1) {
+				s.v = v
+				s.seq.Store(h + 1) // publish to consumers
+				return true
+			}
+		case seq < h:
+			// Slot still holds the previous lap's item: full.
+			return false
+		default:
+			// Another producer already advanced; retry with a fresh
+			// head.
+		}
+	}
+}
+
+// TryGet removes the oldest item, reporting false when empty.
+func (q *MPMC[T]) TryGet() (T, bool) {
+	size := int64(len(q.slots))
+	for {
+		t := q.tail.Load()
+		s := &q.slots[t%size]
+		seq := s.seq.Load()
+		switch {
+		case seq == t+1:
+			if q.tail.CompareAndSwap(t, t+1) {
+				v := s.v
+				var zero T
+				s.v = zero
+				s.seq.Store(t + size) // hand the slot to lap t+size
+				return v, true
+			}
+		case seq < t+1:
+			var zero T
+			return zero, false
+		default:
+		}
+	}
+}

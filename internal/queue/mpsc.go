@@ -1,0 +1,195 @@
+package queue
+
+import "sync/atomic"
+
+// MPSC is the multiple-producer single-consumer optimistic queue of
+// Figure 2. Producers "stake a claim" to buffer space by advancing
+// the head index with a compare-and-swap and a retry loop, then fill
+// their claimed slots concurrently with other producers. Because the
+// head index alone no longer proves that data is present, a valid
+// flag per slot tells the consumer which slots have been filled; the
+// consumer clears each flag as it drains the slot.
+//
+// Indices are monotonically increasing positions (slot = position
+// modulo capacity) rather than the paper's wrapping buffer offsets;
+// this removes the ABA window a wrapped compare-and-swap would have
+// under arbitrary producer stalls while keeping the algorithm
+// identical: one CAS on the fast path, one retry loop around it.
+//
+// Any number of goroutines may call TryPut/PutBatch; exactly one may
+// call TryGet.
+type MPSC[T any] struct {
+	buf  []T
+	flag []atomic.Bool
+	head atomic.Int64 // next position producers claim
+	tail atomic.Int64 // next position the consumer drains
+}
+
+// NewMPSC creates an MPSC queue holding up to size items.
+func NewMPSC[T any](size int) *MPSC[T] {
+	if size < 1 {
+		panic("queue: size must be positive")
+	}
+	return &MPSC[T]{buf: make([]T, size), flag: make([]atomic.Bool, size)}
+}
+
+// Cap returns the queue capacity.
+func (q *MPSC[T]) Cap() int { return len(q.buf) }
+
+// Len returns the number of claimed positions (some may not be
+// filled yet); approximate under concurrency.
+func (q *MPSC[T]) Len() int {
+	n := q.head.Load() - q.tail.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}
+
+// TryPut appends one item, reporting false when the queue is full.
+// This is Figure 2's Q_put with a batch of one: the normal path is
+// the space check, one CAS, the slot fill and the flag set.
+func (q *MPSC[T]) TryPut(v T) bool {
+	size := int64(len(q.buf))
+	for {
+		h := q.head.Load()
+		if h-q.tail.Load() >= size {
+			return false // queue full
+		}
+		if q.head.CompareAndSwap(h, h+1) {
+			i := h % size
+			q.buf[i] = v
+			q.flag[i].Store(true)
+			return true
+		}
+		// Another producer claimed position h first: retry (the
+		// paper counts this as the 20-instruction path).
+	}
+}
+
+// PutBatch atomically inserts all items (up to the queue capacity):
+// the claim covers the whole batch, so the items occupy consecutive
+// slots with no interleaving from other producers. Reports false
+// without inserting anything when there is not enough space.
+func (q *MPSC[T]) PutBatch(items []T) bool {
+	n := int64(len(items))
+	if n == 0 {
+		return true
+	}
+	size := int64(len(q.buf))
+	if n > size {
+		return false
+	}
+	var h int64
+	for {
+		h = q.head.Load()
+		if size-(h-q.tail.Load()) < n {
+			return false
+		}
+		if q.head.CompareAndSwap(h, h+n) {
+			break
+		}
+	}
+	for k, v := range items {
+		i := (h + int64(k)) % size
+		q.buf[i] = v
+		q.flag[i].Store(true)
+	}
+	return true
+}
+
+// TryGet removes the oldest item. It reports false when the queue is
+// empty or when the slot at the tail has been claimed but not yet
+// filled ("the consumer may not trust Q_head as a reliable indication
+// that there is data in the queue").
+func (q *MPSC[T]) TryGet() (T, bool) {
+	size := int64(len(q.buf))
+	t := q.tail.Load()
+	i := t % size
+	if !q.flag[i].Load() {
+		var zero T
+		return zero, false
+	}
+	v := q.buf[i]
+	var zero T
+	q.buf[i] = zero
+	q.flag[i].Store(false)
+	q.tail.Store(t + 1)
+	return v, true
+}
+
+// SPMC is the single-producer multiple-consumer optimistic queue:
+// the mirror image of MPSC. Consumers claim the tail position with a
+// compare-and-swap; the valid flag hands each slot from the producer
+// to exactly one consumer and back.
+//
+// Exactly one goroutine may call TryPut; any number may call TryGet.
+type SPMC[T any] struct {
+	buf  []T
+	flag []atomic.Bool
+	head atomic.Int64
+	tail atomic.Int64
+}
+
+// NewSPMC creates an SPMC queue holding up to size items.
+func NewSPMC[T any](size int) *SPMC[T] {
+	if size < 1 {
+		panic("queue: size must be positive")
+	}
+	return &SPMC[T]{buf: make([]T, size), flag: make([]atomic.Bool, size)}
+}
+
+// Cap returns the queue capacity.
+func (q *SPMC[T]) Cap() int { return len(q.buf) }
+
+// Len returns the apparent number of items; approximate under
+// concurrency.
+func (q *SPMC[T]) Len() int {
+	n := q.head.Load() - q.tail.Load()
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}
+
+// TryPut appends one item, reporting false when the queue is full. A
+// slot is reused only after its flag is clear, which is the signal
+// that the claiming consumer has finished reading it.
+func (q *SPMC[T]) TryPut(v T) bool {
+	size := int64(len(q.buf))
+	h := q.head.Load()
+	if h-q.tail.Load() >= size {
+		return false
+	}
+	i := h % size
+	if q.flag[i].Load() {
+		// The consumer that claimed this slot a lap ago has not
+		// finished draining it.
+		return false
+	}
+	q.buf[i] = v
+	q.flag[i].Store(true)
+	q.head.Store(h + 1)
+	return true
+}
+
+// TryGet removes the oldest item, competing with other consumers via
+// compare-and-swap on the tail; reports false when empty.
+func (q *SPMC[T]) TryGet() (T, bool) {
+	size := int64(len(q.buf))
+	for {
+		t := q.tail.Load()
+		if t >= q.head.Load() {
+			var zero T
+			return zero, false
+		}
+		if q.tail.CompareAndSwap(t, t+1) {
+			i := t % size
+			v := q.buf[i]
+			var zero T
+			q.buf[i] = zero
+			q.flag[i].Store(false) // hand the slot back to the producer
+			return v, true
+		}
+	}
+}

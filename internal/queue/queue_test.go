@@ -1,0 +1,481 @@
+package queue_test
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"synthesis/internal/queue"
+)
+
+// ---------------------------------------------------------------------
+// Basic FIFO behaviour shared by all queue kinds.
+
+type nb interface {
+	TryPut(int) bool
+	TryGet() (int, bool)
+	Len() int
+	Cap() int
+}
+
+func kinds(size int) map[string]func() nb {
+	return map[string]func() nb{
+		"dedicated": func() nb { return queue.NewDedicated[int](size) },
+		"spsc":      func() nb { return queue.NewSPSC[int](size) },
+		"mpsc":      func() nb { return queue.NewMPSC[int](size) },
+		"spmc":      func() nb { return queue.NewSPMC[int](size) },
+		"mpmc":      func() nb { return queue.NewMPMC[int](size) },
+		"locked":    func() nb { return queue.NewLocked[int](size) },
+		"buffered":  func() nb { return bufferedAdapter(size) },
+	}
+}
+
+// bufferedAdapter flushes eagerly so single-threaded FIFO tests see
+// items immediately.
+type flushingBuffered struct{ *queue.Buffered[int] }
+
+func (f flushingBuffered) TryPut(v int) bool {
+	if !f.Buffered.TryPut(v) {
+		return false
+	}
+	f.Buffered.Flush()
+	return true
+}
+
+func bufferedAdapter(size int) nb {
+	return flushingBuffered{queue.NewBuffered[int](4, size+1)}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	for name, mk := range kinds(8) {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			for i := 0; i < 8; i++ {
+				if !q.TryPut(i * 10) {
+					t.Fatalf("put %d failed on non-full queue", i)
+				}
+			}
+			for i := 0; i < 8; i++ {
+				v, ok := q.TryGet()
+				if !ok || v != i*10 {
+					t.Fatalf("get %d = (%d,%v), want (%d,true)", i, v, ok, i*10)
+				}
+			}
+			if _, ok := q.TryGet(); ok {
+				t.Error("get on empty queue succeeded")
+			}
+		})
+	}
+}
+
+func TestFullRejectsPut(t *testing.T) {
+	for name, mk := range kinds(4) {
+		if name == "buffered" {
+			continue // buffered capacity is chunked; tested separately
+		}
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			n := 0
+			for q.TryPut(n) {
+				n++
+				if n > 100 {
+					t.Fatal("queue never filled")
+				}
+			}
+			if n < 3 {
+				t.Fatalf("filled after only %d items (cap should be ~4)", n)
+			}
+			// Draining one must admit exactly one more.
+			if _, ok := q.TryGet(); !ok {
+				t.Fatal("drain failed")
+			}
+			if !q.TryPut(999) {
+				t.Error("put after drain failed")
+			}
+			if q.TryPut(1000) {
+				t.Error("put into full queue succeeded")
+			}
+		})
+	}
+}
+
+func TestInterleavedWraparound(t *testing.T) {
+	for name, mk := range kinds(3) {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			want := 0
+			for i := 0; i < 50; i++ {
+				if !q.TryPut(i) {
+					t.Fatalf("put %d failed", i)
+				}
+				if i%2 == 1 { // drain two every other step
+					for k := 0; k < 2; k++ {
+						v, ok := q.TryGet()
+						if !ok || v != want {
+							t.Fatalf("get = (%d,%v), want (%d,true)", v, ok, want)
+						}
+						want++
+					}
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Property test: any interleaving of puts and gets matches a model
+// FIFO exactly (single-threaded semantics).
+
+func TestQueueMatchesModel(t *testing.T) {
+	check := func(seed int64, sizeRaw uint8) bool {
+		size := int(sizeRaw%16) + 1
+		rng := rand.New(rand.NewSource(seed))
+		for name, mk := range kinds(size) {
+			q := mk()
+			var model []int
+			capSeen := q.Cap()
+			for op := 0; op < 200; op++ {
+				if rng.Intn(2) == 0 {
+					v := rng.Intn(1000)
+					ok := q.TryPut(v)
+					if ok {
+						model = append(model, v)
+					} else if len(model) < capSeen && name != "buffered" {
+						t.Logf("%s: put failed with %d/%d items", name, len(model), capSeen)
+						return false
+					}
+				} else {
+					v, ok := q.TryGet()
+					if ok {
+						if len(model) == 0 {
+							t.Logf("%s: got %d from empty queue", name, v)
+							return false
+						}
+						if v != model[0] {
+							t.Logf("%s: got %d, want %d", name, v, model[0])
+							return false
+						}
+						model = model[1:]
+					} else if len(model) != 0 && name != "buffered" {
+						t.Logf("%s: get failed with %d items queued", name, len(model))
+						return false
+					}
+				}
+			}
+			// Drain and compare the remainder. The buffered queue may
+			// be holding items in a partial chunk that could not be
+			// flushed while the chunk queue was full; draining frees
+			// space, so flush between gets.
+			f, isB := q.(flushingBuffered)
+			if isB {
+				f.Buffered.Flush()
+			}
+			for _, want := range model {
+				v, ok := q.TryGet()
+				if !ok && isB {
+					f.Buffered.Flush()
+					v, ok = q.TryGet()
+				}
+				if !ok || v != want {
+					t.Logf("%s: drain got (%d,%v), want %d", name, v, ok, want)
+					return false
+				}
+			}
+			if _, ok := q.TryGet(); ok {
+				t.Logf("%s: queue not empty after drain", name)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Concurrency: no lost or duplicated items under contention. Run with
+// -race.
+
+// checkTransfer runs producers and consumers and verifies the
+// multiset of received values: nothing lost, nothing duplicated.
+func checkTransfer(t *testing.T, producers, consumers, perProducer int,
+	put func(int) bool, get func() (int, bool)) {
+	t.Helper()
+	total := int64(producers * perProducer)
+	var got sync.Map
+	var wg sync.WaitGroup
+	var received atomic.Int64
+
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, ok := get()
+				if !ok {
+					if received.Load() >= total {
+						return
+					}
+					runtime.Gosched()
+					continue
+				}
+				if _, dup := got.LoadOrStore(v, true); dup {
+					t.Errorf("duplicate item %d", v)
+				}
+				received.Add(1)
+			}
+		}()
+	}
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				v := p*perProducer + i
+				for !put(v) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	count := int64(0)
+	got.Range(func(k, v any) bool { count++; return true })
+	if count != total {
+		t.Errorf("received %d distinct items, want %d", count, total)
+	}
+}
+
+func TestSPSCConcurrent(t *testing.T) {
+	q := queue.NewSPSC[int](64)
+	checkTransfer(t, 1, 1, 20000, q.TryPut, q.TryGet)
+}
+
+func TestMPSCConcurrent(t *testing.T) {
+	q := queue.NewMPSC[int](64)
+	checkTransfer(t, 8, 1, 5000, q.TryPut, q.TryGet)
+}
+
+func TestSPMCConcurrent(t *testing.T) {
+	q := queue.NewSPMC[int](64)
+	checkTransfer(t, 1, 8, 20000, q.TryPut, q.TryGet)
+}
+
+func TestMPMCConcurrent(t *testing.T) {
+	q := queue.NewMPMC[int](64)
+	checkTransfer(t, 8, 8, 5000, q.TryPut, q.TryGet)
+}
+
+func TestLockedConcurrent(t *testing.T) {
+	q := queue.NewLocked[int](64)
+	checkTransfer(t, 8, 8, 5000, q.TryPut, q.TryGet)
+}
+
+func TestBufferedConcurrent(t *testing.T) {
+	b := queue.NewBuffered[int](8, 32)
+	put := func(v int) bool {
+		if !b.TryPut(v) {
+			return false
+		}
+		b.Flush() // keep the consumer fed even with partial chunks
+		return true
+	}
+	checkTransfer(t, 1, 1, 20000, put, b.TryGet)
+}
+
+func TestMPSCPutBatchAtomicity(t *testing.T) {
+	// Batches from competing producers must never interleave.
+	q := queue.NewMPSC[int](256)
+	const batch = 16
+	const perProducer = 200
+	const producers = 4
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			items := make([]int, batch)
+			for i := 0; i < perProducer; i++ {
+				base := (p*perProducer + i) * batch
+				for k := range items {
+					items[k] = base + k
+				}
+				for !q.PutBatch(items) {
+				}
+			}
+		}(p)
+	}
+	got := 0
+	seen := make(map[int]bool)
+	for got < producers*perProducer*batch {
+		v, ok := q.TryGet()
+		if !ok {
+			continue
+		}
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+		// Check batch contiguity: items within one batch must arrive
+		// consecutively.
+		if v%batch == 0 {
+			for k := 1; k < batch; k++ {
+				w, ok := q.TryGet()
+				for !ok {
+					w, ok = q.TryGet()
+				}
+				if w != v+k {
+					t.Fatalf("batch interleaved: got %d after %d, want %d", w, v, v+k)
+				}
+				seen[w] = true
+				got++
+			}
+		}
+		got++
+	}
+	wg.Wait()
+}
+
+func TestPutBatchRejectsOversizeAndFull(t *testing.T) {
+	q := queue.NewMPSC[int](8)
+	if q.PutBatch(make([]int, 9)) {
+		t.Error("batch larger than capacity accepted")
+	}
+	if !q.PutBatch([]int{1, 2, 3, 4, 5, 6}) {
+		t.Error("fitting batch rejected")
+	}
+	if q.PutBatch([]int{7, 8, 9}) {
+		t.Error("batch exceeding remaining space accepted")
+	}
+	if !q.PutBatch(nil) {
+		t.Error("empty batch rejected")
+	}
+	// Drain some, then it fits.
+	q.TryGet()
+	q.TryGet()
+	q.TryGet()
+	if !q.PutBatch([]int{7, 8, 9}) {
+		t.Error("batch rejected after drain")
+	}
+}
+
+func TestBlockingWrapper(t *testing.T) {
+	b := queue.Blocking[int]{Q: queue.NewSPSC[int](4)}
+	done := make(chan int)
+	go func() {
+		sum := 0
+		for i := 0; i < 100; i++ {
+			sum += b.Get()
+		}
+		done <- sum
+	}()
+	want := 0
+	for i := 0; i < 100; i++ {
+		b.Put(i)
+		want += i
+	}
+	if got := <-done; got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestLockedBlockingPutGet(t *testing.T) {
+	q := queue.NewLocked[int](2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if !q.Put(i) {
+				t.Error("put failed before close")
+				return
+			}
+		}
+		q.Close()
+	}()
+	got := 0
+	for {
+		v, ok := q.Get()
+		if !ok {
+			break
+		}
+		if v != got {
+			t.Fatalf("got %d, want %d", v, got)
+		}
+		got++
+	}
+	if got != 50 {
+		t.Errorf("received %d items, want 50", got)
+	}
+	wg.Wait()
+	if q.Put(1) {
+		t.Error("put after close succeeded")
+	}
+}
+
+func TestNotifySignals(t *testing.T) {
+	notEmpty := 0
+	notFull := 0
+	n := queue.Notify[int]{
+		Q:          queue.NewSPSC[int](2),
+		OnNotEmpty: func() { notEmpty++ },
+		OnNotFull:  func() { notFull++ },
+	}
+	n.TryPut(1) // empty -> signals
+	n.TryPut(2) // not empty -> silent
+	if notEmpty != 1 {
+		t.Errorf("notEmpty fired %d times, want 1", notEmpty)
+	}
+	n.TryGet() // full -> signals
+	n.TryGet()
+	if notFull != 1 {
+		t.Errorf("notFull fired %d times, want 1", notFull)
+	}
+	// Empty again: next put signals again (edge-triggered).
+	n.TryPut(3)
+	if notEmpty != 2 {
+		t.Errorf("notEmpty fired %d times, want 2", notEmpty)
+	}
+}
+
+func TestBufferedChunking(t *testing.T) {
+	b := queue.NewBuffered[int](8, 4)
+	if b.BlockingFactor() != 8 {
+		t.Fatal("blocking factor lost")
+	}
+	// Items are invisible until a full chunk or a flush.
+	for i := 0; i < 7; i++ {
+		if !b.TryPut(i) {
+			t.Fatalf("put %d failed", i)
+		}
+	}
+	if _, ok := b.TryGet(); ok {
+		t.Error("partial chunk visible without flush")
+	}
+	b.TryPut(7) // completes the chunk
+	for i := 0; i < 8; i++ {
+		v, ok := b.TryGet()
+		if !ok || v != i {
+			t.Fatalf("get = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	// Flush exposes partials.
+	b.TryPut(100)
+	b.Flush()
+	if v, ok := b.TryGet(); !ok || v != 100 {
+		t.Errorf("flushed partial = (%d,%v)", v, ok)
+	}
+}
+
+func TestZeroSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSPSC(0) did not panic")
+		}
+	}()
+	queue.NewSPSC[int](0)
+}

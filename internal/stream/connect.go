@@ -1,0 +1,93 @@
+package stream
+
+import "synthesis/internal/queue"
+
+// Connect is the Go-plane analogue of the quaject interfacer's
+// combination stage: given the producer/consumer relationship, it
+// finds "the appropriate connecting mechanism (queue, monitor, pump,
+// or a simple procedure call)" — Section 2.3 — and applies the
+// principle of frugality by choosing the cheapest queue that is safe
+// for the declared multiplicities (Section 5.2):
+//
+//	active producer + passive consumer, single:   procedure call
+//	active producer + passive consumer, multiple: monitor
+//	passive producer + active consumer, single:   procedure call
+//	passive producer + active consumer, multiple: monitor
+//	active producer + active consumer:            SP-SC / MP-SC /
+//	                                              SP-MC / MP-MC queue
+//	passive producer + passive consumer:          pump
+type ConnectOptions struct {
+	ProdActive   bool
+	ProdMultiple bool
+	ConsActive   bool
+	ConsMultiple bool
+	QueueSize    int // depth of the mediating queue (both-active case)
+}
+
+// Link is the connection the interfacer built. Active producers call
+// Send; active consumers call Recv; in the passive-passive case the
+// pump's thread moves the data and both endpoints stay passive.
+type Link[T any] struct {
+	// Kind names the chosen mechanism: "call", "monitor",
+	// "queue:spsc", "queue:mpsc", "queue:spmc", "queue:mpmc", "pump".
+	Kind string
+	// Send accepts items from an active producer (nil when the
+	// producer is passive).
+	Send Consumer[T]
+	// Recv hands items to an active consumer (nil when the consumer
+	// is passive).
+	Recv Producer[T]
+	// Pump is non-nil only for the passive-passive case.
+	Pump *Pump[T]
+}
+
+// Connect wires a producer to a consumer. The passive endpoint(s)
+// must be supplied; active endpoints drive the returned Link.
+func Connect[T any](opts ConnectOptions, passiveProd Producer[T], passiveCons Consumer[T]) Link[T] {
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = 64
+	}
+	switch {
+	case !opts.ProdActive && !opts.ConsActive:
+		// Passive-passive: a pump thread reads one side and writes
+		// the other (the xclock example).
+		return Link[T]{Kind: "pump", Pump: NewPump(passiveProd, passiveCons)}
+
+	case opts.ProdActive && !opts.ConsActive:
+		// Active producer calls the consumer. Multiple producers
+		// serialize through a monitor.
+		if opts.ProdMultiple {
+			return Link[T]{Kind: "monitor", Send: NewMonitor(passiveCons)}
+		}
+		return Link[T]{Kind: "call", Send: passiveCons}
+
+	case !opts.ProdActive && opts.ConsActive:
+		// Active consumer calls the producer.
+		if opts.ConsMultiple {
+			return Link[T]{Kind: "monitor", Recv: NewMonitorProducer(passiveProd)}
+		}
+		return Link[T]{Kind: "call", Recv: passiveProd}
+	}
+
+	// Both active: mediate with the cheapest safe optimistic queue.
+	var (
+		q    queue.NonBlocking[T]
+		kind string
+	)
+	switch {
+	case opts.ProdMultiple && opts.ConsMultiple:
+		q, kind = queue.NewMPMC[T](opts.QueueSize), "queue:mpmc"
+	case opts.ProdMultiple:
+		q, kind = queue.NewMPSC[T](opts.QueueSize), "queue:mpsc"
+	case opts.ConsMultiple:
+		q, kind = queue.NewSPMC[T](opts.QueueSize), "queue:spmc"
+	default:
+		q, kind = queue.NewSPSC[T](opts.QueueSize), "queue:spsc"
+	}
+	b := queue.Blocking[T]{Q: q}
+	return Link[T]{
+		Kind: kind,
+		Send: ConsumerFunc[T](func(v T) error { b.Put(v); return nil }),
+		Recv: ProducerFunc[T](func() (T, error) { return b.Get(), nil }),
+	}
+}

@@ -1,0 +1,223 @@
+// Package stream implements the Synthesis I/O model's building blocks
+// (Sections 2.3 and 5 of the paper) as a composable Go library: data
+// moves along streams connecting producers and consumers, and servers
+// are assembled from a small set of parts — queues, monitors,
+// switches, pumps and gauges — by an interfacer that picks the
+// cheapest connection for each producer/consumer case (the principle
+// of frugality):
+//
+//   - active producer, passive consumer (or vice versa), single
+//     parties: a plain procedure call;
+//   - the same with multiple parties: a monitor serializing access;
+//   - active producer and active consumer: a queue between them;
+//   - passive producer and passive consumer: a pump — a thread that
+//     reads one side and writes the other.
+package stream
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Producer is a passive source: Produce hands out the next item.
+// io.Reader at item granularity.
+type Producer[T any] interface {
+	Produce() (T, error)
+}
+
+// Consumer is a passive sink: Consume accepts one item.
+type Consumer[T any] interface {
+	Consume(T) error
+}
+
+// ErrEndOfStream signals a producer is exhausted.
+var ErrEndOfStream = errors.New("stream: end of stream")
+
+// ErrClosed signals the stream has been shut down.
+var ErrClosed = errors.New("stream: closed")
+
+// ProducerFunc adapts a function to Producer.
+type ProducerFunc[T any] func() (T, error)
+
+// Produce implements Producer.
+func (f ProducerFunc[T]) Produce() (T, error) { return f() }
+
+// ConsumerFunc adapts a function to Consumer.
+type ConsumerFunc[T any] func(T) error
+
+// Consume implements Consumer.
+func (f ConsumerFunc[T]) Consume(v T) error { return f(v) }
+
+// ---------------------------------------------------------------- gauge
+
+// Gauge counts events: procedure calls, data arrival, interrupts.
+// "Schedulers use gauges to collect data for scheduling decisions"
+// (Section 2.3); the fine-grain scheduler reads and resets gauges to
+// estimate I/O rates. Safe for concurrent use.
+type Gauge struct {
+	n atomic.Int64
+}
+
+// Add records n events.
+func (g *Gauge) Add(n int64) { g.n.Add(n) }
+
+// Tick records one event.
+func (g *Gauge) Tick() { g.n.Add(1) }
+
+// Read returns the current count.
+func (g *Gauge) Read() int64 { return g.n.Load() }
+
+// Swap returns the count and resets it; the scheduler calls this once
+// per quantum to turn counts into rates.
+func (g *Gauge) Swap() int64 { return g.n.Swap(0) }
+
+// Metered wraps a consumer so a gauge counts its traffic.
+func Metered[T any](c Consumer[T], g *Gauge) Consumer[T] {
+	return ConsumerFunc[T](func(v T) error {
+		g.Tick()
+		return c.Consume(v)
+	})
+}
+
+// ---------------------------------------------------------------- switch
+
+// Switch directs each item to one of several consumers, like the C
+// switch statement ("switches direct interrupts to the appropriate
+// service routines"). Select returns the output index for an item.
+type Switch[T any] struct {
+	Select  func(T) int
+	Outputs []Consumer[T]
+}
+
+// Consume implements Consumer by routing the item.
+func (s *Switch[T]) Consume(v T) error {
+	i := s.Select(v)
+	if i < 0 || i >= len(s.Outputs) {
+		return errors.New("stream: switch selected nonexistent output")
+	}
+	return s.Outputs[i].Consume(v)
+}
+
+// ---------------------------------------------------------------- monitor
+
+// Monitor serializes access to a passive party when multiple active
+// parties call in (the multiple-single case of Section 5.2).
+type Monitor[T any] struct {
+	mu sync.Mutex
+	c  Consumer[T]
+}
+
+// NewMonitor wraps a consumer in a monitor.
+func NewMonitor[T any](c Consumer[T]) *Monitor[T] {
+	return &Monitor[T]{c: c}
+}
+
+// Consume implements Consumer with mutual exclusion.
+func (m *Monitor[T]) Consume(v T) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.c.Consume(v)
+}
+
+// MonitorProducer serializes a passive producer shared by multiple
+// active consumers.
+type MonitorProducer[T any] struct {
+	mu sync.Mutex
+	p  Producer[T]
+}
+
+// NewMonitorProducer wraps a producer in a monitor.
+func NewMonitorProducer[T any](p Producer[T]) *MonitorProducer[T] {
+	return &MonitorProducer[T]{p: p}
+}
+
+// Produce implements Producer with mutual exclusion.
+func (m *MonitorProducer[T]) Produce() (T, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.p.Produce()
+}
+
+// ---------------------------------------------------------------- pump
+
+// Pump contains a thread that actively copies its input into its
+// output, connecting a passive producer with a passive consumer (the
+// xclock example of Section 5.2). A gauge counts pumped items so the
+// scheduler can see the stream's rate.
+type Pump[T any] struct {
+	Gauge Gauge
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+	err  atomic.Pointer[error]
+}
+
+// NewPump starts a pump moving items from p to c until Stop is called
+// or the producer ends.
+func NewPump[T any](p Producer[T], c Consumer[T]) *Pump[T] {
+	pu := &Pump[T]{stop: make(chan struct{}), done: make(chan struct{})}
+	go pu.run(p, c)
+	return pu
+}
+
+func (pu *Pump[T]) run(p Producer[T], c Consumer[T]) {
+	defer close(pu.done)
+	for {
+		select {
+		case <-pu.stop:
+			return
+		default:
+		}
+		v, err := p.Produce()
+		if err != nil {
+			pu.setErr(err)
+			return
+		}
+		if err := c.Consume(v); err != nil {
+			pu.setErr(err)
+			return
+		}
+		pu.Gauge.Tick()
+	}
+}
+
+func (pu *Pump[T]) setErr(err error) {
+	if !errors.Is(err, ErrEndOfStream) {
+		pu.err.Store(&err)
+	}
+}
+
+// Stop halts the pump and waits for its thread to exit.
+func (pu *Pump[T]) Stop() {
+	pu.once.Do(func() { close(pu.stop) })
+	<-pu.done
+}
+
+// Wait blocks until the pump finishes on its own (producer end or
+// error) and returns the terminal error, if any.
+func (pu *Pump[T]) Wait() error {
+	<-pu.done
+	if e := pu.err.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- filter
+
+// Filter transforms a stream: each input item maps to zero or more
+// output items (the cooked tty erase/kill filter of Section 5.1 is a
+// Filter). A Filter is a passive consumer on its input side and calls
+// a consumer on its output side, so the interfacer can collapse it
+// into the adjacent stages.
+type Filter[In, Out any] struct {
+	Fn  func(In, func(Out) error) error
+	Out Consumer[Out]
+}
+
+// Consume implements Consumer by transforming and forwarding.
+func (f *Filter[In, Out]) Consume(v In) error {
+	return f.Fn(v, f.Out.Consume)
+}

@@ -1,0 +1,348 @@
+package stream_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"synthesis/internal/stream"
+)
+
+// sliceProducer yields its items then ErrEndOfStream.
+type sliceProducer struct {
+	mu    sync.Mutex
+	items []int
+}
+
+func (s *sliceProducer) Produce() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.items) == 0 {
+		return 0, stream.ErrEndOfStream
+	}
+	v := s.items[0]
+	s.items = s.items[1:]
+	return v, nil
+}
+
+// sliceConsumer collects items.
+type sliceConsumer struct {
+	mu  sync.Mutex
+	got []int
+}
+
+func (s *sliceConsumer) Consume(v int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.got = append(s.got, v)
+	return nil
+}
+
+func (s *sliceConsumer) snapshot() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.got...)
+}
+
+func TestGauge(t *testing.T) {
+	var g stream.Gauge
+	g.Tick()
+	g.Add(4)
+	if g.Read() != 5 {
+		t.Errorf("gauge = %d, want 5", g.Read())
+	}
+	if g.Swap() != 5 {
+		t.Error("swap did not return count")
+	}
+	if g.Read() != 0 {
+		t.Error("swap did not reset")
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	var g stream.Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Tick()
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Read() != 8000 {
+		t.Errorf("gauge = %d, want 8000", g.Read())
+	}
+}
+
+func TestMeteredConsumer(t *testing.T) {
+	var g stream.Gauge
+	var sink sliceConsumer
+	m := stream.Metered[int](&sink, &g)
+	for i := 0; i < 7; i++ {
+		if err := m.Consume(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Read() != 7 {
+		t.Errorf("gauge = %d, want 7", g.Read())
+	}
+}
+
+func TestSwitchRoutes(t *testing.T) {
+	var even, odd sliceConsumer
+	sw := &stream.Switch[int]{
+		Select:  func(v int) int { return v & 1 },
+		Outputs: []stream.Consumer[int]{&even, &odd},
+	}
+	for i := 0; i < 10; i++ {
+		if err := sw.Consume(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(even.got) != 5 || len(odd.got) != 5 {
+		t.Fatalf("split %d/%d, want 5/5", len(even.got), len(odd.got))
+	}
+	for _, v := range even.got {
+		if v&1 != 0 {
+			t.Errorf("odd value %d routed to even output", v)
+		}
+	}
+}
+
+func TestSwitchBadOutputIsError(t *testing.T) {
+	sw := &stream.Switch[int]{Select: func(int) int { return 5 }}
+	if err := sw.Consume(1); err == nil {
+		t.Error("out-of-range switch select did not error")
+	}
+}
+
+func TestMonitorSerializes(t *testing.T) {
+	// A deliberately racy consumer: the monitor must make it safe.
+	var n int
+	racy := stream.ConsumerFunc[int](func(int) error {
+		n++
+		return nil
+	})
+	m := stream.NewMonitor(racy)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Consume(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n != 8000 {
+		t.Errorf("n = %d, want 8000 (monitor failed to serialize)", n)
+	}
+}
+
+func TestPumpMovesEverything(t *testing.T) {
+	src := &sliceProducer{items: []int{1, 2, 3, 4, 5}}
+	var dst sliceConsumer
+	p := stream.NewPump[int](src, &dst)
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	got := dst.snapshot()
+	if len(got) != 5 {
+		t.Fatalf("pumped %d items, want 5", len(got))
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Errorf("item %d = %d", i, v)
+		}
+	}
+	if p.Gauge.Read() != 5 {
+		t.Errorf("pump gauge = %d, want 5", p.Gauge.Read())
+	}
+}
+
+func TestPumpStop(t *testing.T) {
+	// An endless producer: Stop must halt the pump thread.
+	var count atomic.Int64
+	src := stream.ProducerFunc[int](func() (int, error) { return 1, nil })
+	dst := stream.ConsumerFunc[int](func(int) error {
+		count.Add(1)
+		return nil
+	})
+	p := stream.NewPump[int](src, dst)
+	for count.Load() < 100 {
+	}
+	p.Stop()
+	after := count.Load()
+	if after < 100 {
+		t.Error("pump stopped before making progress")
+	}
+}
+
+func TestPumpPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	src := stream.ProducerFunc[int](func() (int, error) { return 1, nil })
+	dst := stream.ConsumerFunc[int](func(int) error { return boom })
+	p := stream.NewPump[int](src, dst)
+	if err := p.Wait(); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestFilterTransformsAndDrops(t *testing.T) {
+	var out sliceConsumer
+	// Erase/kill-style filter: drop negatives, duplicate evens.
+	f := &stream.Filter[int, int]{
+		Fn: func(v int, emit func(int) error) error {
+			if v < 0 {
+				return nil
+			}
+			if err := emit(v); err != nil {
+				return err
+			}
+			if v%2 == 0 {
+				return emit(v)
+			}
+			return nil
+		},
+		Out: &out,
+	}
+	for _, v := range []int{1, -5, 2, 3, -1, 4} {
+		if err := f.Consume(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []int{1, 2, 2, 3, 4, 4}
+	got := out.snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Connect: the interfacer's case analysis.
+
+func TestConnectChoosesMechanism(t *testing.T) {
+	cases := []struct {
+		opts stream.ConnectOptions
+		want string
+	}{
+		{stream.ConnectOptions{ProdActive: true}, "call"},
+		{stream.ConnectOptions{ProdActive: true, ProdMultiple: true}, "monitor"},
+		{stream.ConnectOptions{ConsActive: true}, "call"},
+		{stream.ConnectOptions{ConsActive: true, ConsMultiple: true}, "monitor"},
+		{stream.ConnectOptions{ProdActive: true, ConsActive: true}, "queue:spsc"},
+		{stream.ConnectOptions{ProdActive: true, ConsActive: true, ProdMultiple: true}, "queue:mpsc"},
+		{stream.ConnectOptions{ProdActive: true, ConsActive: true, ConsMultiple: true}, "queue:spmc"},
+		{stream.ConnectOptions{ProdActive: true, ConsActive: true, ProdMultiple: true, ConsMultiple: true}, "queue:mpmc"},
+		{stream.ConnectOptions{}, "pump"},
+	}
+	for _, c := range cases {
+		src := &sliceProducer{items: []int{1}}
+		var dst sliceConsumer
+		l := stream.Connect[int](c.opts, src, &dst)
+		if l.Kind != c.want {
+			t.Errorf("opts %+v: kind = %s, want %s", c.opts, l.Kind, c.want)
+		}
+		if l.Pump != nil {
+			l.Pump.Wait()
+		}
+	}
+}
+
+func TestConnectActiveActiveDelivers(t *testing.T) {
+	l := stream.Connect[int](stream.ConnectOptions{
+		ProdActive: true, ConsActive: true,
+		ProdMultiple: true, ConsMultiple: true,
+		QueueSize: 16,
+	}, nil, nil)
+	const producers, per = 4, 500
+	var wg sync.WaitGroup
+	var sum atomic.Int64
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < producers*per/4; i++ {
+				v, _ := l.Recv.Produce()
+				sum.Add(int64(v))
+			}
+		}()
+	}
+	want := int64(0)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v := p*per + i
+				l.Send.Consume(v)
+			}
+		}(p)
+	}
+	for v := 0; v < producers*per; v++ {
+		want += int64(v)
+	}
+	wg.Wait()
+	if sum.Load() != want {
+		t.Errorf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestConnectPassivePassivePumps(t *testing.T) {
+	src := &sliceProducer{items: []int{10, 20, 30}}
+	var dst sliceConsumer
+	l := stream.Connect[int](stream.ConnectOptions{}, src, &dst)
+	if err := l.Pump.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.snapshot(); len(got) != 3 || got[2] != 30 {
+		t.Errorf("pumped %v", got)
+	}
+}
+
+// Property: a pipeline of filters over Connect preserves item count
+// for a counting filter regardless of input.
+func TestPipelineCountProperty(t *testing.T) {
+	check := func(items []int16) bool {
+		src := &sliceProducer{}
+		for _, v := range items {
+			src.items = append(src.items, int(v))
+		}
+		var dst sliceConsumer
+		var g stream.Gauge
+		f := &stream.Filter[int, int]{
+			Fn: func(v int, emit func(int) error) error {
+				return emit(v * 2)
+			},
+			Out: stream.Metered[int](&dst, &g),
+		}
+		p := stream.NewPump[int](src, f)
+		if err := p.Wait(); err != nil {
+			return false
+		}
+		got := dst.snapshot()
+		if len(got) != len(items) || g.Read() != int64(len(items)) {
+			return false
+		}
+		for i, v := range items {
+			if got[i] != int(v)*2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,353 @@
+package sunos
+
+import (
+	"synthesis/internal/asmkit"
+	"synthesis/internal/m68k"
+)
+
+// The baseline kernel's routines, assembled once at boot (no run-time
+// code generation — that is the point). The shape follows the
+// traditional kernel the paper compares against; per-layer costs are
+// real work on real structures, not padding:
+//
+//	trap #0 -> syscall(): full register save, argument block copied
+//	to a uap area, bounds-checked dispatch through sysent,
+//	then userret(): signal check and setpri() priority
+//	recomputation (multiply + divide), full restore, rte.
+//
+//	read()/write() -> getf() descriptor validation -> f_ops dispatch
+//	-> readi/writei (inode lock, buffer cache scan, uio chunk loop)
+//	or socket pipe (sblock, mbuf get/free, chain append, sbspace
+//	accounting, wakeup) or cdevsw character switch (second
+//	indirection) for devices.
+
+// Number of sysent slots.
+const nsys = 48
+
+// buildRoutines assembles everything and records entry points.
+func (k *Kernel) buildRoutines() {
+	m := k.M
+
+	// Tables filled after the routines exist.
+	sysent := k.alloc(nsys * 4)
+	fopsRead := k.alloc(8 * 4)
+	fopsWrite := k.alloc(8 * 4)
+	cdevswR := k.alloc(4 * 4)
+	cdevswW := k.alloc(4 * 4)
+	uap := k.alloc(16) // argument block "copied in" each syscall
+
+	// ---------------------------------------------------- helpers
+
+	// getf: D1 = fd -> A0 = file slot (0 if bad). Clobbers D0.
+	getf := func() uint32 {
+		b := asmkit.New()
+		b.CmpL(m68k.Imm(nofile), m68k.D(1))
+		b.Bcc("bad")
+		b.MoveL(m68k.Abs(gUArea), m68k.A(0))
+		b.MoveL(m68k.D(1), m68k.D(0))
+		b.LslL(m68k.Imm(4), m68k.D(0))
+		b.AddL(m68k.D(0), m68k.A(0))
+		b.TstL(m68k.Ind(0))
+		b.Beq("bad")
+		b.Rts()
+		b.Label("bad")
+		b.MoveL(m68k.Imm(0), m68k.A(0))
+		b.Rts()
+		return b.Link(m)
+	}()
+
+	// falloc: -> A0 = first free slot, D0 = fd (-1 if none).
+	falloc := func() uint32 {
+		b := asmkit.New()
+		b.MoveL(m68k.Abs(gUArea), m68k.A(0))
+		b.Clr(4, m68k.D(0))
+		b.Label("loop")
+		b.CmpL(m68k.Imm(nofile), m68k.D(0))
+		b.Bcc("bad")
+		b.TstL(m68k.Ind(0))
+		b.Beq("got")
+		b.Lea(m68k.Disp(uSlotSize, 0), 0)
+		b.AddL(m68k.Imm(1), m68k.D(0))
+		b.Bra("loop")
+		b.Label("got")
+		b.Rts()
+		b.Label("bad")
+		b.MoveL(m68k.Imm(-1), m68k.D(0))
+		b.Rts()
+		return b.Link(m)
+	}()
+
+	// uiomove/bcopy: D6 bytes from (A1)+ to (A3)+ — the generic data
+	// mover on the user-data path. It validates and moves a byte at a
+	// time (the uiomove discipline: segment checking folded into the
+	// per-byte step; no alignment analysis, no unrolling — that is
+	// exactly the generality the synthesized movers shed). Clobbers
+	// D0, D6, A1, A3. Called, not inlined, per chunk.
+	bcopy := func() uint32 {
+		b := asmkit.New()
+		b.TstL(m68k.D(6))
+		b.Beq("out")
+		b.SubL(m68k.Imm(1), m68k.D(6))
+		b.Label("lb")
+		b.MoveB(m68k.PostInc(1), m68k.PostInc(3))
+		b.Dbra(6, "lb")
+		b.Label("out")
+		b.Rts()
+		return b.Link(m)
+	}()
+	k.bcopyR = bcopy
+
+	// wakeup: A2 = wait channel. 4.2BSD hashes sleepers into slpque
+	// chains; we model the hash plus the (usually short) chain walk
+	// over the proc table bucket.
+	wakeup := func() uint32 {
+		b := asmkit.New()
+		// hash = (chan >> 3) & (nproc/8-1); scan that eighth of the
+		// table.
+		b.MoveL(m68k.A(2), m68k.D(0))
+		b.LsrL(m68k.Imm(3), m68k.D(0))
+		b.AndL(m68k.Imm(7), m68k.D(0))
+		// bucket base = proctab + hash*(nproc/8)*procBytes
+		b.Mulu(m68k.Imm(nproc/8*procBytes), m68k.D(0))
+		b.MoveL(m68k.Abs(gProcTab), m68k.A(4))
+		b.AddL(m68k.D(0), m68k.A(4))
+		b.MoveL(m68k.Imm(nproc/8-1), m68k.D(1))
+		b.Label("scan")
+		b.Cmp(4, m68k.Ind(4), m68k.A(2))
+		b.Bne("next")
+		b.Clr(4, m68k.Ind(4))
+		b.Clr(4, m68k.Disp(pStat, 4))
+		b.Label("next")
+		b.Lea(m68k.Disp(procBytes, 4), 4)
+		b.Dbra(1, "scan")
+		b.Rts()
+		return b.Link(m)
+	}()
+
+	k.bread = k.buildBread(bcopy)
+	readi := k.buildReadi(bcopy)
+	writei := k.buildWritei(bcopy)
+	nullR, nullW := k.buildNullDev()
+	ttyR, ttyW := k.buildTTYDev()
+	specR, specW := k.buildSpec(cdevswR, cdevswW)
+	pipeR, pipeW := k.buildPipe(bcopy, wakeup)
+	namei := k.buildNamei()
+
+	// ------------------------------------------------- sys handlers
+
+	nosys := func() uint32 {
+		b := asmkit.New()
+		b.MoveL(m68k.Imm(-1), m68k.D(0))
+		b.Rts()
+		return b.Link(m)
+	}()
+
+	sysExit := func() uint32 {
+		b := asmkit.New()
+		b.Kcall(202)
+		b.Halt()
+		return b.Link(m)
+	}()
+
+	sysRead := func() uint32 {
+		b := asmkit.New()
+		b.Jsr(getf)
+		b.MoveL(m68k.A(0), m68k.D(0))
+		b.Beq("bad")
+		b.MoveL(m68k.Ind(0), m68k.D(0)) // slot type
+		b.Lea(m68k.Abs(fopsRead), 1)
+		b.JsrVia(m68k.Idx(0, 1, 0, 4)) // f_ops indirection
+		b.Rts()
+		b.Label("bad")
+		b.MoveL(m68k.Imm(-1), m68k.D(0))
+		b.Rts()
+		return b.Link(m)
+	}()
+
+	sysWrite := func() uint32 {
+		b := asmkit.New()
+		b.Jsr(getf)
+		b.MoveL(m68k.A(0), m68k.D(0))
+		b.Beq("bad")
+		b.MoveL(m68k.Ind(0), m68k.D(0))
+		b.Lea(m68k.Abs(fopsWrite), 1)
+		b.JsrVia(m68k.Idx(0, 1, 0, 4))
+		b.Rts()
+		b.Label("bad")
+		b.MoveL(m68k.Imm(-1), m68k.D(0))
+		b.Rts()
+		return b.Link(m)
+	}()
+
+	sysOpen := func() uint32 {
+		b := asmkit.New()
+		b.Jsr(namei) // D1 = path -> A2 = inode or 0
+		b.MoveL(m68k.A(2), m68k.D(0))
+		b.Beq("bad")
+		b.Jsr(falloc)
+		b.TstL(m68k.D(0))
+		b.Bmi("bad")
+		// Fill the slot from the inode kind.
+		b.MoveL(m68k.A(2), m68k.Disp(fPtr, 0))
+		b.Clr(4, m68k.Disp(fOff, 0))
+		b.MoveL(m68k.Disp(iKind, 2), m68k.D(1))
+		b.CmpL(m68k.Imm(4), m68k.D(1)) // null device
+		b.Bne("nnull")
+		b.MoveL(m68k.Imm(ftNull), m68k.Ind(0))
+		b.Clr(4, m68k.Disp(fAux, 0)) // cdevsw major 0
+		b.Rts()
+		b.Label("nnull")
+		b.CmpL(m68k.Imm(5), m68k.D(1)) // tty device
+		b.Bne("ntty")
+		b.MoveL(m68k.Imm(ftTTY), m68k.Ind(0))
+		b.MoveL(m68k.Imm(1), m68k.Disp(fAux, 0)) // major 1
+		b.Rts()
+		b.Label("ntty")
+		b.MoveL(m68k.Imm(ftInode), m68k.Ind(0))
+		b.Rts()
+		b.Label("bad")
+		b.MoveL(m68k.Imm(-1), m68k.D(0))
+		b.Rts()
+		return b.Link(m)
+	}()
+
+	sysLseek := func() uint32 {
+		b := asmkit.New()
+		b.Jsr(getf)
+		b.MoveL(m68k.A(0), m68k.D(0))
+		b.Beq("bad")
+		b.MoveL(m68k.D(2), m68k.Disp(fOff, 0))
+		b.MoveL(m68k.D(2), m68k.D(0))
+		b.Rts()
+		b.Label("bad")
+		b.MoveL(m68k.Imm(-1), m68k.D(0))
+		b.Rts()
+		return b.Link(m)
+	}()
+
+	sysClose := func() uint32 {
+		b := asmkit.New()
+		b.Jsr(getf)
+		b.MoveL(m68k.A(0), m68k.D(0))
+		b.Beq("bad")
+		b.Clr(4, m68k.Ind(0))
+		b.Clr(4, m68k.Disp(fPtr, 0))
+		b.Clr(4, m68k.Disp(fOff, 0))
+		b.Clr(4, m68k.D(0))
+		b.Rts()
+		b.Label("bad")
+		b.MoveL(m68k.Imm(-1), m68k.D(0))
+		b.Rts()
+		return b.Link(m)
+	}()
+
+	sysPipe := func() uint32 {
+		b := asmkit.New()
+		// Socket buffer storage comes off the mbuf free list.
+		b.MoveL(m68k.Abs(gMFree), m68k.A(1))
+		b.MoveL(m68k.A(1), m68k.D(0))
+		b.Beq("bad")
+		b.MoveL(m68k.Ind(1), m68k.D(0))
+		b.MoveL(m68k.D(0), m68k.Abs(gMFree))
+		b.Clr(4, m68k.Disp(sbCC, 1))
+		b.Clr(4, m68k.Disp(sbHead, 1))
+		b.Clr(4, m68k.Disp(sbTail, 1))
+		b.Clr(4, m68k.Disp(sbLock, 1))
+		b.MoveL(m68k.A(1), m68k.A(2)) // keep sb
+		// Reader slot.
+		b.Jsr(falloc)
+		b.TstL(m68k.D(0))
+		b.Bmi("bad")
+		b.MoveL(m68k.D(0), m68k.D(6)) // rfd
+		b.MoveL(m68k.Imm(ftPipeR), m68k.Ind(0))
+		b.MoveL(m68k.A(2), m68k.Disp(fPtr, 0))
+		// Writer slot.
+		b.Jsr(falloc)
+		b.TstL(m68k.D(0))
+		b.Bmi("bad")
+		b.MoveL(m68k.D(0), m68k.D(1)) // wfd returned in D1
+		b.MoveL(m68k.Imm(ftPipeW), m68k.Ind(0))
+		b.MoveL(m68k.A(2), m68k.Disp(fPtr, 0))
+		b.MoveL(m68k.D(6), m68k.D(0)) // rfd returned in D0
+		b.Rts()
+		b.Label("bad")
+		b.MoveL(m68k.Imm(-1), m68k.D(0))
+		b.Rts()
+		return b.Link(m)
+	}()
+
+	// ------------------------------------------------ syscall entry
+
+	entry := func() uint32 {
+		b := asmkit.New()
+		// Traditional full save.
+		b.MovemSave(0x7fff, m68k.PreDec(7))
+		// "copyin" the argument block to uap (the framework always
+		// stages arguments, even when they are already at hand).
+		b.MoveL(m68k.D(1), m68k.Abs(uap))
+		b.MoveL(m68k.D(2), m68k.Abs(uap+4))
+		b.MoveL(m68k.D(3), m68k.Abs(uap+8))
+		b.MoveL(m68k.Abs(uap), m68k.D(1))
+		b.MoveL(m68k.Abs(uap+4), m68k.D(2))
+		b.MoveL(m68k.Abs(uap+8), m68k.D(3))
+		// Bounds-checked dispatch through sysent.
+		b.CmpL(m68k.Imm(nsys), m68k.D(0))
+		b.Bcc("bad")
+		b.Lea(m68k.Abs(sysent), 6)
+		b.JsrVia(m68k.Idx(0, 6, 0, 4))
+		// userret: check for posted signals...
+		b.TstL(m68k.Abs(gExitRes))
+		// ...and recompute the scheduling priority: setpri's
+		// p_cpu/p_nice arithmetic (one multiply, one divide).
+		b.MoveL(m68k.Abs(gClock), m68k.D(4))
+		b.Mulu(m68k.Imm(3), m68k.D(4))
+		b.Divu(m68k.Imm(7), m68k.D(4))
+		b.AndL(m68k.Imm(127), m68k.D(4))
+		// Results propagate through the saved block: D0 always, D1
+		// too (pipe returns a second descriptor).
+		b.MoveL(m68k.D(0), m68k.Ind(7))
+		b.MoveL(m68k.D(1), m68k.Disp(4, 7))
+		b.MovemRest(m68k.PostInc(7), 0x7fff)
+		b.Rte()
+		b.Label("bad")
+		b.MoveL(m68k.Imm(-1), m68k.Ind(7))
+		b.MovemRest(m68k.PostInc(7), 0x7fff)
+		b.Rte()
+		return b.Link(m)
+	}()
+	k.sysEntry = entry
+
+	k.swtchR = k.buildSwtch()
+
+	// ------------------------------------------------- fill tables
+
+	poke := func(base uint32, idx int, v uint32) { m.Poke(base+uint32(idx)*4, 4, v) }
+	for i := 0; i < nsys; i++ {
+		poke(sysent, i, nosys)
+	}
+	poke(sysent, 1, sysExit)
+	poke(sysent, 3, sysRead)
+	poke(sysent, 4, sysWrite)
+	poke(sysent, 5, sysOpen)
+	poke(sysent, 6, sysClose)
+	poke(sysent, 19, sysLseek)
+	poke(sysent, 42, sysPipe)
+
+	for i := 0; i < 8; i++ {
+		poke(fopsRead, i, nosys)
+		poke(fopsWrite, i, nosys)
+	}
+	poke(fopsRead, ftInode, readi)
+	poke(fopsWrite, ftInode, writei)
+	poke(fopsRead, ftPipeR, pipeR)
+	poke(fopsWrite, ftPipeW, pipeW)
+	poke(fopsRead, ftNull, specR)
+	poke(fopsWrite, ftNull, specW)
+	poke(fopsRead, ftTTY, specR)
+	poke(fopsWrite, ftTTY, specW)
+
+	poke(cdevswR, 0, nullR)
+	poke(cdevswW, 0, nullW)
+	poke(cdevswR, 1, ttyR)
+	poke(cdevswW, 1, ttyW)
+}

@@ -1,0 +1,332 @@
+package sunos
+
+import (
+	"synthesis/internal/asmkit"
+	"synthesis/internal/m68k"
+)
+
+// The baseline file system paths: generic inode read/write through a
+// scanned buffer cache, namei path resolution with linear directory
+// scans and forward string comparison, and the character-device
+// switch (a second dispatch layer for /dev/null and /dev/tty).
+
+// buildBread assembles bread: A2 = inode, D0 = block number ->
+// A1 = cached block data. Linear scan of the buffer headers; on a
+// miss, a rotor-chosen victim is refilled from the backing store (the
+// simulated disk transfer). Clobbers D0, D1, A4, A5.
+func (k *Kernel) buildBread(bcopy uint32) uint32 {
+	b := asmkit.New()
+	b.MoveL(m68k.Abs(gBufHdr), m68k.A(4))
+	b.MoveL(m68k.Imm(nbuf-1), m68k.D(1))
+	b.Label("scan")
+	b.Cmp(4, m68k.Ind(4), m68k.A(2)) // header inode vs A2
+	b.Bne("next")
+	b.Cmp(4, m68k.Disp(bBlk, 4), m68k.D(0))
+	b.Bne("next")
+	b.TstL(m68k.Disp(bValid, 4))
+	b.Beq("next")
+	b.MoveL(m68k.Disp(bAddr, 4), m68k.A(1))
+	b.Rts()
+	b.Label("next")
+	b.Lea(m68k.Disp(bufHdrBytes, 4), 4)
+	b.Dbra(1, "scan")
+	// Miss: evict the rotor's victim and fill it.
+	b.MoveL(m68k.Abs(gBufRot), m68k.D(1))
+	b.MoveL(m68k.Abs(gBufHdr), m68k.A(4))
+	b.LslL(m68k.Imm(4), m68k.D(1))
+	b.AddL(m68k.D(1), m68k.A(4))
+	b.MoveL(m68k.Abs(gBufRot), m68k.D(1))
+	b.AddL(m68k.Imm(1), m68k.D(1))
+	b.AndL(m68k.Imm(nbuf-1), m68k.D(1))
+	b.MoveL(m68k.D(1), m68k.Abs(gBufRot))
+	b.MoveL(m68k.A(2), m68k.Ind(4))
+	b.MoveL(m68k.D(0), m68k.Disp(bBlk, 4))
+	b.MoveL(m68k.Imm(1), m68k.Disp(bValid, 4))
+	b.MoveL(m68k.Disp(bAddr, 4), m68k.A(1))
+	// src = inode data + blk*1024
+	b.MoveL(m68k.Disp(iData, 2), m68k.A(5))
+	b.LslL(m68k.Imm(10), m68k.D(0))
+	b.AddL(m68k.D(0), m68k.A(5))
+	// The "disk transfer" into the cache block.
+	b.MoveL(m68k.A(1), m68k.PreDec(7))
+	b.MoveL(m68k.Imm(bufBlock/4-1), m68k.D(1))
+	b.Label("fill")
+	b.MoveL(m68k.PostInc(5), m68k.PostInc(1))
+	b.Dbra(1, "fill")
+	b.MoveL(m68k.PostInc(7), m68k.A(1))
+	b.Rts()
+	return b.Link(k.M)
+}
+
+// buildReadi assembles the generic file read: A0 = file slot,
+// D2 = user buffer, D3 = length -> D0 = bytes. Inode sleep-lock, uio
+// staging, per-block bread + bcopy chunk loop, access-time update.
+func (k *Kernel) buildReadi(bcopy uint32) uint32 {
+	uio := k.alloc(24)
+	b := asmkit.New()
+	b.MoveL(m68k.Disp(fPtr, 0), m68k.A(2))
+	b.Label("lock")
+	b.Tas(m68k.Disp(iLock, 2))
+	b.Bmi("lock")
+	// Stage the uio/iovec (the framework always does).
+	b.MoveL(m68k.D(2), m68k.Abs(uio))
+	b.MoveL(m68k.D(3), m68k.Abs(uio+4))
+	b.MoveL(m68k.Disp(fOff, 0), m68k.D(4))
+	b.MoveL(m68k.D(4), m68k.Abs(uio+8))
+	b.MoveL(m68k.D(3), m68k.Abs(uio+12))
+	// avail = size - off
+	b.MoveL(m68k.Disp(iSize, 2), m68k.D(5))
+	b.SubL(m68k.D(4), m68k.D(5))
+	b.Bhi("some")
+	b.Clr(1, m68k.Disp(iLock, 2))
+	b.Clr(4, m68k.D(0))
+	b.Rts()
+	b.Label("some")
+	b.Cmp(4, m68k.D(3), m68k.D(5))
+	b.Bls("n1")
+	b.MoveL(m68k.D(3), m68k.D(5))
+	b.Label("n1")
+	b.MoveL(m68k.D(5), m68k.D(7)) // total to return
+	b.MoveL(m68k.D(2), m68k.A(3)) // user cursor
+	b.Label("loop")
+	b.TstL(m68k.D(5))
+	b.Beq("done")
+	b.MoveL(m68k.D(4), m68k.D(0))
+	b.LsrL(m68k.Imm(10), m68k.D(0))
+	b.Jsr(k.bread) // -> A1 = block data
+	b.MoveL(m68k.D(4), m68k.D(1))
+	b.AndL(m68k.Imm(1023), m68k.D(1))
+	b.AddL(m68k.D(1), m68k.A(1)) // src = block + boff
+	b.MoveL(m68k.Imm(1024), m68k.D(6))
+	b.SubL(m68k.D(1), m68k.D(6))
+	b.Cmp(4, m68k.D(5), m68k.D(6))
+	b.Bls("c1")
+	b.MoveL(m68k.D(5), m68k.D(6))
+	b.Label("c1")
+	b.MoveL(m68k.D(6), m68k.PreDec(7)) // bcopy clobbers the count
+	b.Jsr(bcopy)                       // (A1)+ -> (A3)+, D6 bytes
+	b.MoveL(m68k.PostInc(7), m68k.D(6))
+	b.AddL(m68k.D(6), m68k.D(4))
+	b.SubL(m68k.D(6), m68k.D(5))
+	// uio bookkeeping per chunk.
+	b.MoveL(m68k.D(4), m68k.Abs(uio+8))
+	b.MoveL(m68k.D(5), m68k.Abs(uio+12))
+	b.Bra("loop")
+	b.Label("done")
+	b.MoveL(m68k.D(4), m68k.Disp(fOff, 0))
+	// Access-time update.
+	b.MoveL(m68k.Abs(gClock), m68k.D(0))
+	b.AddL(m68k.Imm(1), m68k.D(0))
+	b.MoveL(m68k.D(0), m68k.Abs(gClock))
+	b.MoveL(m68k.D(0), m68k.Disp(iAtime, 2))
+	b.Clr(1, m68k.Disp(iLock, 2))
+	b.MoveL(m68k.D(7), m68k.D(0))
+	b.Rts()
+	return b.Link(k.M)
+}
+
+// buildWritei assembles the generic file write: write-through to the
+// backing store with a cache-invalidation scan and modify-time
+// update. A0 = slot, D2 = buffer, D3 = length -> D0.
+func (k *Kernel) buildWritei(bcopy uint32) uint32 {
+	b := asmkit.New()
+	b.MoveL(m68k.Disp(fPtr, 0), m68k.A(2))
+	b.Label("lock")
+	b.Tas(m68k.Disp(iLock, 2))
+	b.Bmi("lock")
+	b.MoveL(m68k.Disp(fOff, 0), m68k.D(4))
+	b.MoveL(m68k.Disp(iCap, 2), m68k.D(5))
+	b.SubL(m68k.D(4), m68k.D(5))
+	b.Bhi("some")
+	b.Clr(1, m68k.Disp(iLock, 2))
+	b.Clr(4, m68k.D(0))
+	b.Rts()
+	b.Label("some")
+	b.Cmp(4, m68k.D(3), m68k.D(5))
+	b.Bls("n1")
+	b.MoveL(m68k.D(3), m68k.D(5))
+	b.Label("n1")
+	b.MoveL(m68k.D(5), m68k.D(7))
+	b.MoveL(m68k.D(2), m68k.A(1)) // src = user buffer
+	b.MoveL(m68k.Disp(iData, 2), m68k.A(3))
+	b.AddL(m68k.D(4), m68k.A(3)) // dst = data + off
+	b.MoveL(m68k.D(5), m68k.D(6))
+	b.Jsr(bcopy)
+	b.AddL(m68k.D(7), m68k.D(4))
+	b.MoveL(m68k.D(4), m68k.Disp(fOff, 0))
+	b.Cmp(4, m68k.Disp(iSize, 2), m68k.D(4))
+	b.Bls("nosize")
+	b.MoveL(m68k.D(4), m68k.Disp(iSize, 2))
+	b.Label("nosize")
+	// Invalidate cached blocks of this inode (write-through).
+	b.MoveL(m68k.Abs(gBufHdr), m68k.A(4))
+	b.MoveL(m68k.Imm(nbuf-1), m68k.D(1))
+	b.Label("inv")
+	b.Cmp(4, m68k.Ind(4), m68k.A(2))
+	b.Bne("nx")
+	b.Clr(4, m68k.Disp(bValid, 4))
+	b.Label("nx")
+	b.Lea(m68k.Disp(bufHdrBytes, 4), 4)
+	b.Dbra(1, "inv")
+	// Modify-time update.
+	b.MoveL(m68k.Abs(gClock), m68k.D(0))
+	b.AddL(m68k.Imm(1), m68k.D(0))
+	b.MoveL(m68k.D(0), m68k.Abs(gClock))
+	b.MoveL(m68k.D(0), m68k.Disp(iMtime, 2))
+	b.Clr(1, m68k.Disp(iLock, 2))
+	b.MoveL(m68k.D(7), m68k.D(0))
+	b.Rts()
+	return b.Link(k.M)
+}
+
+// buildNamei assembles path resolution: D1 = path -> A2 = inode (0 on
+// failure). Component-by-component parse, each resolved by a linear
+// directory scan with a forward character-by-character comparison —
+// the cost open(/dev/null) pays here is what the Synthesis hashed-
+// backwards lookup avoids.
+func (k *Kernel) buildNamei() uint32 {
+	nbufArea := k.alloc(nameMax + 1)
+	m := k.M
+
+	// fubyte: fetch one byte from "user space" — A0 = address ->
+	// D0 = byte. The traditional namei pulls the pathname through
+	// this call one character at a time.
+	fb := asmkit.New()
+	fb.Clr(4, m68k.D(0))
+	fb.MoveB(m68k.Ind(0), m68k.D(0))
+	fb.Rts()
+	fubyte := fb.Link(m)
+
+	b := asmkit.New()
+	b.MoveL(m68k.D(1), m68k.A(0))
+	b.MoveL(m68k.Abs(gRootDir), m68k.A(2))
+	b.Label("slash")
+	b.Jsr(fubyte)
+	b.CmpL(m68k.Imm('/'), m68k.D(0))
+	b.Bne("comp")
+	b.Lea(m68k.Disp(1, 0), 0)
+	b.Bra("slash")
+	b.Label("comp")
+	b.TstL(m68k.D(0))
+	b.Beq("done")
+	// Copy the component into the name buffer, one fubyte at a time.
+	b.Lea(m68k.Abs(nbufArea), 1)
+	b.Clr(4, m68k.D(2))
+	b.Label("cp")
+	b.Jsr(fubyte)
+	b.TstL(m68k.D(0))
+	b.Beq("cpe")
+	b.CmpL(m68k.Imm('/'), m68k.D(0))
+	b.Beq("cpe")
+	b.MoveB(m68k.D(0), m68k.PostInc(1))
+	b.Lea(m68k.Disp(1, 0), 0)
+	b.AddL(m68k.Imm(1), m68k.D(2))
+	b.CmpL(m68k.Imm(nameMax), m68k.D(2))
+	b.Bcs("cp")
+	b.Label("cpe")
+	b.Clr(1, m68k.Ind(1))
+	// Lock the directory inode for the scan (ilock/iunlock per
+	// component, as iget does).
+	b.Label("ilock")
+	b.Tas(m68k.Disp(iLock, 2))
+	b.Bmi("ilock")
+	// Scan the directory.
+	b.MoveL(m68k.Disp(iData, 2), m68k.A(3))
+	b.MoveL(m68k.Disp(iSize, 2), m68k.D(3))
+	b.Label("scan")
+	b.TstL(m68k.D(3))
+	b.Beq("fail")
+	// Forward strcmp: shared prefixes cost a comparison per byte.
+	b.Lea(m68k.Abs(nbufArea), 1)
+	b.Lea(m68k.Disp(4, 3), 4)
+	b.Label("sc")
+	b.Clr(4, m68k.D(0))
+	b.MoveB(m68k.PostInc(1), m68k.D(0))
+	b.Clr(4, m68k.D(4))
+	b.MoveB(m68k.PostInc(4), m68k.D(4))
+	b.Cmp(4, m68k.D(4), m68k.D(0))
+	b.Bne("next")
+	b.TstL(m68k.D(0))
+	b.Bne("sc")
+	// Match: unlock the directory and descend.
+	b.Clr(1, m68k.Disp(iLock, 2))
+	b.MoveL(m68k.Ind(3), m68k.A(2))
+	b.Bra("slash")
+	b.Label("next")
+	b.Lea(m68k.Disp(direntBytes, 3), 3)
+	b.SubL(m68k.Imm(direntBytes), m68k.D(3))
+	b.Bra("scan")
+	b.Label("fail")
+	b.Clr(1, m68k.Disp(iLock, 2))
+	b.MoveL(m68k.Imm(0), m68k.A(2))
+	b.Label("done")
+	b.Rts()
+	return b.Link(k.M)
+}
+
+// buildNullDev assembles the /dev/null driver pair (reached through
+// the cdevsw indirection).
+func (k *Kernel) buildNullDev() (read, write uint32) {
+	br := asmkit.New()
+	br.Clr(4, m68k.D(0))
+	br.Rts()
+	bw := asmkit.New()
+	bw.MoveL(m68k.D(3), m68k.D(0))
+	bw.Rts()
+	return br.Link(k.M), bw.Link(k.M)
+}
+
+// buildTTYDev assembles a polling tty driver: read gathers until
+// newline or count, write pushes bytes at the device register.
+func (k *Kernel) buildTTYDev() (read, write uint32) {
+	m := k.M
+	br := asmkit.New()
+	br.MoveL(m68k.D(2), m68k.A(1))
+	br.Clr(4, m68k.D(7))
+	br.Label("loop")
+	br.Cmp(4, m68k.D(3), m68k.D(7))
+	br.Bcc("done")
+	br.Label("wait")
+	br.MoveL(m68k.Abs(m68k.TTYBase+m68k.TTYRegStatus), m68k.D(0))
+	br.Beq("wait")
+	br.MoveL(m68k.Abs(m68k.TTYBase+m68k.TTYRegData), m68k.D(0))
+	br.MoveB(m68k.D(0), m68k.PostInc(1))
+	br.AddL(m68k.Imm(1), m68k.D(7))
+	br.CmpL(m68k.Imm('\n'), m68k.D(0))
+	br.Beq("done")
+	br.Bra("loop")
+	br.Label("done")
+	br.MoveL(m68k.D(7), m68k.D(0))
+	br.Rts()
+
+	bw := asmkit.New()
+	bw.MoveL(m68k.D(3), m68k.D(0))
+	bw.TstL(m68k.D(3))
+	bw.Beq("done")
+	bw.MoveL(m68k.D(2), m68k.A(1))
+	bw.MoveL(m68k.D(3), m68k.D(1))
+	bw.SubL(m68k.Imm(1), m68k.D(1))
+	bw.Label("loop")
+	bw.MoveB(m68k.PostInc(1), m68k.Abs(m68k.TTYBase+m68k.TTYRegData))
+	bw.Dbra(1, "loop")
+	bw.Label("done")
+	bw.Rts()
+	return br.Link(m), bw.Link(m)
+}
+
+// buildSpec assembles the character-device switch: a second dispatch
+// layer through cdevsw, exactly the indirection the Synthesis open
+// specializes away.
+func (k *Kernel) buildSpec(cdevswR, cdevswW uint32) (read, write uint32) {
+	br := asmkit.New()
+	br.MoveL(m68k.Disp(fAux, 0), m68k.D(0)) // major number
+	br.Lea(m68k.Abs(cdevswR), 1)
+	br.JsrVia(m68k.Idx(0, 1, 0, 4))
+	br.Rts()
+	bw := asmkit.New()
+	bw.MoveL(m68k.Disp(fAux, 0), m68k.D(0))
+	bw.Lea(m68k.Abs(cdevswW), 1)
+	bw.JsrVia(m68k.Idx(0, 1, 0, 4))
+	bw.Rts()
+	return br.Link(k.M), bw.Link(k.M)
+}

@@ -1,0 +1,150 @@
+package sunos
+
+import (
+	"synthesis/internal/asmkit"
+	"synthesis/internal/m68k"
+)
+
+// Socket-style pipes: SUNOS 3.x pipes are socket pairs, so a one-byte
+// write pays for the whole socket send path — sleep-lock acquisition,
+// interrupt-priority juggling, space accounting, an mbuf allocation
+// with statistics, the copy, the chain append, and a wakeup — and the
+// read side mirrors it with the mbuf free. This is where Table 1's
+// dramatic single-byte pipe ratio originates.
+
+const sbHiwat = 4096 // socket buffer high-water mark (bytes queued)
+
+// buildPipe assembles the pipe read/write pair. Both are f_ops
+// targets: A0 = file slot, D2 = user buffer, D3 = length -> D0.
+func (k *Kernel) buildPipe(bcopy, wakeup uint32) (read, write uint32) {
+	m := k.M
+
+	bw := asmkit.New()
+	bw.MoveL(m68k.Disp(fPtr, 0), m68k.A(2)) // socket buffer
+	// sblock: the socket sleep-lock.
+	bw.Label("lock")
+	bw.Tas(m68k.Disp(sbLock, 2))
+	bw.Bmi("lock")
+	// splnet ... splx around the queue manipulation.
+	bw.MoveFromSR(m68k.PreDec(7))
+	bw.OrSR(0x0700)
+	bw.MoveL(m68k.D(3), m68k.D(7)) // requested
+	bw.MoveL(m68k.D(2), m68k.A(4)) // user cursor
+	bw.Label("loop")
+	bw.TstL(m68k.D(3))
+	bw.Beq("done")
+	// sbspace: respect the high-water mark (short write when full —
+	// the single-process benchmarks never block).
+	bw.MoveL(m68k.Disp(sbCC, 2), m68k.D(0))
+	bw.CmpL(m68k.Imm(sbHiwat), m68k.D(0))
+	bw.Bcc("done")
+	// MGET: pop the free list, keep mbstat honest.
+	bw.MoveL(m68k.Abs(gMFree), m68k.A(1))
+	bw.MoveL(m68k.A(1), m68k.D(0))
+	bw.Beq("done")
+	bw.MoveL(m68k.Ind(1), m68k.D(0))
+	bw.MoveL(m68k.D(0), m68k.Abs(gMFree))
+	bw.AddL(m68k.Imm(1), m68k.Abs(gMStat))
+	bw.Clr(4, m68k.Disp(mOff, 1))
+	// chunk = min(len, mbuf capacity)
+	bw.MoveL(m68k.Imm(mbufCap), m68k.D(6))
+	bw.Cmp(4, m68k.D(3), m68k.D(6))
+	bw.Bls("c1")
+	bw.MoveL(m68k.D(3), m68k.D(6))
+	bw.Label("c1")
+	bw.MoveL(m68k.D(6), m68k.Disp(mLen, 1))
+	bw.MoveL(m68k.D(6), m68k.D(5)) // bcopy clobbers D6
+	// Copy user -> mbuf.
+	bw.MoveL(m68k.A(1), m68k.A(5)) // keep the mbuf
+	bw.MoveL(m68k.A(4), m68k.A(1)) // src
+	bw.Lea(m68k.Disp(mData, 5), 3) // dst
+	bw.Jsr(bcopy)
+	bw.MoveL(m68k.A(1), m68k.A(4)) // persist the cursor
+	// sbappend: link at the tail.
+	bw.Clr(4, m68k.Ind(5))
+	bw.MoveL(m68k.Disp(sbTail, 2), m68k.D(0))
+	bw.Beq("first")
+	bw.MoveL(m68k.D(0), m68k.A(3))
+	bw.MoveL(m68k.A(5), m68k.Ind(3))
+	bw.Bra("app")
+	bw.Label("first")
+	bw.MoveL(m68k.A(5), m68k.Disp(sbHead, 2))
+	bw.Label("app")
+	bw.MoveL(m68k.A(5), m68k.Disp(sbTail, 2))
+	bw.MoveL(m68k.Disp(sbCC, 2), m68k.D(0))
+	bw.AddL(m68k.D(5), m68k.D(0))
+	bw.MoveL(m68k.D(0), m68k.Disp(sbCC, 2))
+	bw.SubL(m68k.D(5), m68k.D(3))
+	bw.Bra("loop")
+	bw.Label("done")
+	bw.MoveToSR(m68k.PostInc(7)) // splx
+	bw.Clr(1, m68k.Disp(sbLock, 2))
+	bw.Jsr(wakeup) // sorwakeup(A2)
+	bw.MoveL(m68k.D(7), m68k.D(0))
+	bw.SubL(m68k.D(3), m68k.D(0))
+	bw.Rts()
+
+	br := asmkit.New()
+	br.MoveL(m68k.Disp(fPtr, 0), m68k.A(2))
+	br.Label("lock")
+	br.Tas(m68k.Disp(sbLock, 2))
+	br.Bmi("lock")
+	br.MoveFromSR(m68k.PreDec(7))
+	br.OrSR(0x0700)
+	br.MoveL(m68k.D(3), m68k.D(7))
+	br.MoveL(m68k.D(2), m68k.A(4)) // user cursor
+	br.Label("loop")
+	br.TstL(m68k.D(3))
+	br.Beq("done")
+	br.MoveL(m68k.Disp(sbHead, 2), m68k.D(0))
+	br.Beq("done")                 // drained
+	br.MoveL(m68k.D(0), m68k.A(5)) // mbuf
+	// chunk = min(mbuf length, remaining)
+	br.MoveL(m68k.Disp(mLen, 5), m68k.D(6))
+	br.Cmp(4, m68k.D(3), m68k.D(6))
+	br.Bls("c1")
+	br.MoveL(m68k.D(3), m68k.D(6))
+	br.Label("c1")
+	br.MoveL(m68k.D(6), m68k.D(5))
+	// Copy mbuf -> user.
+	br.Lea(m68k.Disp(mData, 5), 1)
+	br.AddL(m68k.Disp(mOff, 5), m68k.A(1))
+	br.MoveL(m68k.A(4), m68k.A(3))
+	br.Jsr(bcopy)
+	br.MoveL(m68k.A(3), m68k.A(4))
+	// Accounting.
+	br.MoveL(m68k.Disp(sbCC, 2), m68k.D(0))
+	br.SubL(m68k.D(5), m68k.D(0))
+	br.MoveL(m68k.D(0), m68k.Disp(sbCC, 2))
+	br.SubL(m68k.D(5), m68k.D(3))
+	// Partially or fully consumed?
+	br.MoveL(m68k.Disp(mLen, 5), m68k.D(0))
+	br.SubL(m68k.D(5), m68k.D(0))
+	br.MoveL(m68k.D(0), m68k.Disp(mLen, 5))
+	br.Bne("partial")
+	// sbdrop + MFREE: unlink the head and return it to the pool.
+	br.MoveL(m68k.Ind(5), m68k.D(0))
+	br.MoveL(m68k.D(0), m68k.Disp(sbHead, 2))
+	br.Bne("notlast")
+	br.Clr(4, m68k.Disp(sbTail, 2))
+	br.Label("notlast")
+	br.MoveL(m68k.Abs(gMFree), m68k.D(0))
+	br.MoveL(m68k.D(0), m68k.Ind(5))
+	br.MoveL(m68k.A(5), m68k.Abs(gMFree))
+	br.SubL(m68k.Imm(1), m68k.Abs(gMStat))
+	br.Bra("loop")
+	br.Label("partial")
+	br.MoveL(m68k.Disp(mOff, 5), m68k.D(0))
+	br.AddL(m68k.D(5), m68k.D(0))
+	br.MoveL(m68k.D(0), m68k.Disp(mOff, 5))
+	br.Bra("loop")
+	br.Label("done")
+	br.MoveToSR(m68k.PostInc(7))
+	br.Clr(1, m68k.Disp(sbLock, 2))
+	br.Jsr(wakeup) // sowwakeup
+	br.MoveL(m68k.D(7), m68k.D(0))
+	br.SubL(m68k.D(3), m68k.D(0))
+	br.Rts()
+
+	return br.Link(m), bw.Link(m)
+}

@@ -1,0 +1,66 @@
+package sunos
+
+import (
+	"synthesis/internal/asmkit"
+	"synthesis/internal/m68k"
+)
+
+// The traditional context switch, for the Table 4 comparison and the
+// executable-data-structure ablation: "they always do the work of a
+// complete switch: save the registers in a system area, setup the C
+// run-time stack, find the current proc-table and copy the registers
+// into proc-table, start the next process" (Section 4.2). The
+// floating-point context is saved unconditionally — the traditional
+// kernel has no lazy variant — and the scheduler scans the whole
+// process table for the best priority instead of following a chain.
+
+// buildSwtch assembles the switch: D1 = from-process index, D2 =
+// to-process index. Callable as a subroutine so the ablation can time
+// it in isolation.
+func (k *Kernel) buildSwtch() uint32 {
+	b := asmkit.New()
+	// Save into a system area first (the "system save area"), then
+	// copy into the proc-table entry — the double store the paper
+	// calls out.
+	sysSave := k.alloc(64)
+	b.MovemSave(0x7fff, m68k.Abs(sysSave))
+	// Find the proc entry.
+	b.MoveL(m68k.Abs(gProcTab), m68k.A(0))
+	b.MoveL(m68k.D(1), m68k.D(0))
+	b.Mulu(m68k.Imm(procBytes), m68k.D(0))
+	b.AddL(m68k.D(0), m68k.A(0))
+	// Copy the register block into the proc table.
+	b.Lea(m68k.Abs(sysSave), 1)
+	b.Lea(m68k.Disp(pRegs, 0), 3)
+	b.MoveL(m68k.Imm(15-1), m68k.D(0))
+	b.Label("cp")
+	b.MoveL(m68k.PostInc(1), m68k.PostInc(3))
+	b.Dbra(0, "cp")
+	// Save the FP context unconditionally.
+	b.FmovemSave(0xff, m68k.Disp(pFP, 0))
+	// Scan the run queue (the whole table) for the best priority.
+	b.MoveL(m68k.Abs(gProcTab), m68k.A(1))
+	b.MoveL(m68k.Imm(nproc-1), m68k.D(0))
+	b.MoveL(m68k.Imm(9999), m68k.D(3))
+	b.Label("scan")
+	b.MoveL(m68k.Disp(pPri, 1), m68k.D(4))
+	b.Cmp(4, m68k.D(3), m68k.D(4))
+	b.Bcc("nx")
+	b.MoveL(m68k.D(4), m68k.D(3))
+	b.Label("nx")
+	b.Lea(m68k.Disp(procBytes, 1), 1)
+	b.Dbra(0, "scan")
+	// Restore the target's context.
+	b.MoveL(m68k.Abs(gProcTab), m68k.A(0))
+	b.MoveL(m68k.D(2), m68k.D(0))
+	b.Mulu(m68k.Imm(procBytes), m68k.D(0))
+	b.AddL(m68k.D(0), m68k.A(0))
+	b.FmovemRest(m68k.Disp(pFP, 0), 0xff)
+	b.MovemRest(m68k.Disp(pRegs, 0), 0x7fff)
+	b.Rts()
+	return b.Link(k.M)
+}
+
+// SwitchRoutine returns the full-switch routine address for the
+// ablation benchmarks.
+func (k *Kernel) SwitchRoutine() uint32 { return k.swtchR }

@@ -1,0 +1,129 @@
+package synth_test
+
+import (
+	"testing"
+
+	"synthesis/internal/asmkit"
+	"synthesis/internal/m68k"
+	"synthesis/internal/synth"
+)
+
+// calleeProg builds a leaf routine with an internal loop: D0 += 5 via
+// five increments (exercising label renaming during the splice).
+func calleeProg() asmkit.Program {
+	b := asmkit.New()
+	b.MoveL(m68k.Imm(4), m68k.D(1))
+	b.Label("loop")
+	b.AddL(m68k.Imm(1), m68k.D(0))
+	b.Dbra(1, "loop")
+	b.Rts()
+	return b.Export()
+}
+
+func TestCollapseInlinesLeafCalls(t *testing.T) {
+	// The layered version needs the callee installed in its machine.
+	mLayered := newM()
+	calleeAddr := asmkit.FromProgram(calleeProg()).Link(mLayered)
+
+	inl, err := synth.RegisterInline(calleeProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	caller := asmkit.New()
+	caller.Clr(4, m68k.D(0))
+	caller.Jsr(calleeAddr)
+	caller.AddL(m68k.Imm(100), m68k.D(0))
+	caller.Jsr(calleeAddr)
+	caller.Halt()
+	layered := caller.Export()
+
+	collapsed, n := synth.Collapse(layered, map[uint32]synth.Inlinable{calleeAddr: inl})
+	if n != 2 {
+		t.Fatalf("collapsed %d call sites, want 2", n)
+	}
+	for i, in := range collapsed.Ins {
+		if in.Op == m68k.JSR {
+			t.Errorf("jsr survives at %d after collapsing", i)
+		}
+	}
+
+	// Both versions compute the same value; the collapsed one is
+	// cheaper (no jsr/rts overhead, no stack traffic).
+	mLayered.PC = asmkit.FromProgram(layered).Link(mLayered)
+	layeredStart := mLayered.Cycles
+	if err := mLayered.Run(1_000_000); err != m68k.ErrHalted {
+		t.Fatalf("layered run: %v", err)
+	}
+	layeredCycles := mLayered.Cycles - layeredStart
+
+	mCollapsed, err2 := runProgram(collapsed)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if mLayered.D[0] != 110 || mCollapsed.D[0] != 110 {
+		t.Fatalf("results: layered %d, collapsed %d, want 110", mLayered.D[0], mCollapsed.D[0])
+	}
+	if mCollapsed.Cycles >= layeredCycles {
+		t.Errorf("collapsed (%d cycles) not cheaper than layered (%d)", mCollapsed.Cycles, layeredCycles)
+	}
+}
+
+func TestCollapseLeavesUnregisteredCalls(t *testing.T) {
+	caller := asmkit.New()
+	caller.Jsr(12345)
+	caller.Halt()
+	p, n := synth.Collapse(caller.Export(), nil)
+	if n != 0 {
+		t.Fatalf("collapsed %d sites with no registry", n)
+	}
+	if p.Ins[0].Op != m68k.JSR {
+		t.Error("unregistered call was rewritten")
+	}
+}
+
+func TestCollapsePreservesCallerBranches(t *testing.T) {
+	const calleeAddr = 55555 // never resolved: the splice removes the call
+	inl, _ := synth.RegisterInline(calleeProg())
+
+	caller := asmkit.New()
+	caller.Clr(4, m68k.D(0))
+	caller.MoveL(m68k.Imm(2), m68k.D(3))
+	caller.Label("again")
+	caller.Jsr(calleeAddr)
+	caller.SubL(m68k.Imm(1), m68k.D(3))
+	caller.Bne("again") // loops over the spliced body
+	caller.Halt()
+	collapsed, n := synth.Collapse(caller.Export(), map[uint32]synth.Inlinable{calleeAddr: inl})
+	if n != 1 {
+		t.Fatalf("collapsed %d, want 1", n)
+	}
+	mc, err := runProgram(collapsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.D[0] != 10 {
+		t.Errorf("looped inline result = %d, want 10", mc.D[0])
+	}
+}
+
+func TestRegisterInlineRejectsNonLeaves(t *testing.T) {
+	bad := asmkit.New()
+	bad.Jsr(1)
+	bad.Rts()
+	if _, err := synth.RegisterInline(bad.Export()); err == nil {
+		t.Error("non-leaf accepted")
+	}
+	noRts := asmkit.New()
+	noRts.Nop()
+	if _, err := synth.RegisterInline(noRts.Export()); err == nil {
+		t.Error("routine without rts accepted")
+	}
+	interior := asmkit.New()
+	interior.Rts()
+	interior.Nop()
+	interior.Rts()
+	if _, err := synth.RegisterInline(interior.Export()); err == nil {
+		t.Error("interior rts accepted")
+	}
+}

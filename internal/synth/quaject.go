@@ -1,0 +1,155 @@
+package synth
+
+import (
+	"sort"
+
+	"synthesis/internal/asmkit"
+	"synthesis/internal/m68k"
+)
+
+// Quajects (Section 2.3) are the kernel's collections of procedures
+// and data encapsulating hardware resources: threads, device servers,
+// queues, files. A quaject's procedures are synthesized at run time
+// by the quaject creator; its entry points are dynamically linked
+// into the invoking thread by the quaject interfacer.
+
+// Quaject records the synthesized routines making up one kernel
+// object, with the size accounting used in Section 6.4.
+type Quaject struct {
+	Name    string
+	Entries map[string]uint32 // entry-point name -> code address
+	Instrs  int               // synthesized instructions
+	Bytes   int               // synthesized code bytes (encoded estimate)
+}
+
+// Entry returns the code address of a named entry point.
+func (q *Quaject) Entry(name string) uint32 {
+	addr, ok := q.Entries[name]
+	if !ok {
+		panic("synth: quaject " + q.Name + " has no entry " + name)
+	}
+	return addr
+}
+
+// EntryNames returns the entry-point names in sorted order.
+func (q *Quaject) EntryNames() []string {
+	names := make([]string, 0, len(q.Entries))
+	for n := range q.Entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Creator is the quaject creator: it runs a template's three stages —
+// allocation (code space), factorization (hole binding through the
+// Env given to the template closure), and optimization (the peephole
+// passes) — and installs the result in the machine.
+//
+// DoOptimize exists for the ablation benchmarks: with it off, the
+// factorized but unoptimized code is installed, isolating the
+// contribution of the optimization stage. ChargeTime models the cost
+// of running the synthesizer itself on the machine's clock (the 40%
+// of open's 49 microseconds that Section 6.3 attributes to code
+// synthesis); it is off for boot-time synthesis, which the paper does
+// not charge to any kernel call.
+type Creator struct {
+	M          *m68k.Machine
+	DoOptimize bool
+	ChargeTime bool
+
+	// Accounting across all quajects, for the Section 6.4 table.
+	TotalInstrs int
+	TotalBytes  int
+	Routines    int
+	LastStats   OptStats
+}
+
+// NewCreator returns a creator with optimization on and time charging
+// off (boot mode).
+func NewCreator(m *m68k.Machine) *Creator {
+	return &Creator{M: m, DoOptimize: true}
+}
+
+// NewQuaject starts an empty quaject record.
+func (c *Creator) NewQuaject(name string) *Quaject {
+	return &Quaject{Name: name, Entries: make(map[string]uint32)}
+}
+
+// Synthesize runs a template closure against the environment, applies
+// the optimization stage, installs the code, records it under the
+// quaject's entry name, and returns the entry address.
+func (c *Creator) Synthesize(q *Quaject, entry string, env Env, emit func(*Emitter)) uint32 {
+	e := NewEmitter(env)
+	emit(e)
+	p := e.Export()
+	var st OptStats
+	if c.DoOptimize {
+		p, st = Optimize(p)
+	} else {
+		st.InstrsBefore = len(p.Ins)
+		st.InstrsAfter = len(p.Ins)
+		for _, in := range p.Ins {
+			st.BytesBefore += in.ByteSize()
+		}
+		st.BytesAfter = st.BytesBefore
+	}
+	c.LastStats = st
+	if c.ChargeTime {
+		ChargeSynthesis(c.M, st.InstrsBefore)
+	}
+	b := asmkit.FromProgram(p)
+	addr := b.Link(c.M)
+	if q != nil {
+		q.Entries[entry] = addr
+		q.Instrs += st.InstrsAfter
+		q.Bytes += st.BytesAfter
+	}
+	c.TotalInstrs += st.InstrsAfter
+	c.TotalBytes += st.BytesAfter
+	c.Routines++
+	return addr
+}
+
+// SynthesizeAt is Synthesize into a preallocated code region, used
+// when a routine must be rebuilt in place (the context-switch
+// resynthesis after the first floating-point trap rewrites the
+// thread's switch code without moving it, Section 4.2). The region
+// must hold the routine; any slack is filled with NOPs so stale tail
+// instructions cannot execute.
+func (c *Creator) SynthesizeAt(q *Quaject, entry string, base uint32, size int, env Env, emit func(*Emitter)) {
+	e := NewEmitter(env)
+	emit(e)
+	p := e.Export()
+	var st OptStats
+	if c.DoOptimize {
+		p, st = Optimize(p)
+	} else {
+		st.InstrsBefore = len(p.Ins)
+		st.InstrsAfter = len(p.Ins)
+		for _, in := range p.Ins {
+			st.BytesBefore += in.ByteSize()
+		}
+		st.BytesAfter = st.BytesBefore
+	}
+	c.LastStats = st
+	if len(p.Ins) > size {
+		panic("synth: routine does not fit its preallocated region: " + entry)
+	}
+	if c.ChargeTime {
+		ChargeSynthesis(c.M, st.InstrsBefore)
+	}
+	b := asmkit.FromProgram(p)
+	b.LinkAt(c.M, base)
+	for i := len(p.Ins); i < size; i++ {
+		c.M.Code[base+uint32(i)] = m68k.Instr{Op: m68k.NOP}
+	}
+	if q != nil {
+		q.Entries[entry] = base
+		q.Instrs += st.InstrsAfter
+		q.Bytes += st.BytesAfter
+	}
+	c.TotalInstrs += st.InstrsAfter
+	c.TotalBytes += st.BytesAfter
+	c.Routines++
+}

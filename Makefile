@@ -1,0 +1,21 @@
+# Tier-1 gate and the concurrency-heavy race pass. `make tier1` is
+# what CI runs; `make race` exercises the Go-plane optimistic queues
+# and the network packet ring under the race detector.
+
+GO ?= go
+
+.PHONY: tier1 race bench tables
+
+tier1:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/queue/... ./internal/net/...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run ^$$ .
+
+tables:
+	$(GO) run ./cmd/synbench

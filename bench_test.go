@@ -73,6 +73,9 @@ func BenchmarkTable4_Dispatcher(b *testing.B) { reportRows(b, bench.Table4) }
 // Table 5: interrupt handling.
 func BenchmarkTable5_Interrupts(b *testing.B) { reportRows(b, bench.Table5) }
 
+// Table 6: network loopback sockets, synthesized vs generic layers.
+func BenchmarkTable6_Network(b *testing.B) { reportRows(b, bench.Table6) }
+
 // Figure 2's path-length claim on the simulated machine.
 func BenchmarkFigure2_PathLengths(b *testing.B) { reportRows(b, bench.PathLengths) }
 

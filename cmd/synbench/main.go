@@ -1,12 +1,14 @@
 // synbench regenerates the evaluation of "Threads and Input/Output in
 // the Synthesis Kernel" (Massalin & Pu, SOSP 1989): Tables 1-5, the
 // Section 6.4 size accounting, and the design-choice ablations, all on
-// the simulated Quamachine at the SUN 3/160 emulation point.
+// the simulated Quamachine at the SUN 3/160 emulation point. Table 6
+// extends the evaluation to the network subsystem: loopback sockets,
+// synthesized vs generic layered paths.
 //
 // Usage:
 //
 //	synbench                 # everything
-//	synbench -table 1        # one table (1..5, size, ablations)
+//	synbench -table 1        # one table (1..6, pathlen, size, ablations)
 //	synbench -iters 500      # heavier Table 1 loops
 package main
 
@@ -19,7 +21,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1,2,3,4,5,pathlen,size,ablations,all")
+	table := flag.String("table", "all", "which table to regenerate: 1,2,3,4,5,6,pathlen,size,ablations,all")
 	iters := flag.Int("iters", 200, "loop count for the Table 1 programs")
 	flag.Parse()
 
@@ -33,6 +35,7 @@ func main() {
 		{"3", bench.Table3},
 		{"4", bench.Table4},
 		{"5", bench.Table5},
+		{"6", bench.Table6},
 		{"pathlen", bench.PathLengths},
 		{"size", bench.SizeTable},
 		{"ablations", bench.Ablations},

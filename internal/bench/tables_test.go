@@ -167,6 +167,43 @@ func TestTable5Shape(t *testing.T) {
 	}
 }
 
+func TestTable6Shape(t *testing.T) {
+	tab, err := Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.String())
+
+	// The acceptance bar: the synthesized data paths must be at most
+	// half the generic path on the identical VM — even though the
+	// synthesized send count includes the receive interrupt and queue
+	// deposit while the NIC-less baseline pays no interrupt at all.
+	sSend := row(t, tab, "send 128 B, synthesized path").Measured
+	uSend := row(t, tab, "send 128 B, generic sunos path").Measured
+	if 2*sSend > uSend {
+		t.Errorf("synthesized send = %.0f instr, generic = %.0f: not <= half", sSend, uSend)
+	}
+	sRecv := row(t, tab, "recv 128 B, synthesized path").Measured
+	uRecv := row(t, tab, "recv 128 B, generic sunos path").Measured
+	if 2*sRecv > uRecv {
+		t.Errorf("synthesized recv = %.0f instr, generic = %.0f: not <= half", sRecv, uRecv)
+	}
+	// Throughput: the synthesized stack must win end to end.
+	sT := row(t, tab, "loopback throughput, synthesized").Measured
+	uT := row(t, tab, "loopback throughput, generic sunos").Measured
+	if sT <= uT {
+		t.Errorf("synthesized throughput %.0f fr/s did not beat generic %.0f fr/s", sT, uT)
+	}
+	// Open cost: both positive; the synthesized side is allowed to be
+	// dearer (it pays for code generation at open time).
+	if o := row(t, tab, "socket open, synthesized").Measured; o <= 0 {
+		t.Errorf("synthesized open = %.1f usec", o)
+	}
+	if o := row(t, tab, "socket open, generic sunos").Measured; o <= 0 {
+		t.Errorf("generic open = %.1f usec", o)
+	}
+}
+
 func TestSizeTableShape(t *testing.T) {
 	tab, err := SizeTable()
 	if err != nil {

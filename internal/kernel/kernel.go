@@ -22,6 +22,7 @@ type Kernel struct {
 	Disk  *m68k.Disk
 	AD    *m68k.AD
 	Cons  *m68k.Cons
+	Net   *m68k.Net
 
 	// Shared kernel routines (code addresses), synthesized at boot.
 	rtUnlink    uint32 // a0 = TTE: remove from ready ring
@@ -59,6 +60,9 @@ type Kernel struct {
 	CloseHook func(k *Kernel, t *Thread, fd int32) bool
 	// PipeHook creates a pipe and returns its two descriptors.
 	PipeHook func(k *Kernel, t *Thread) (rfd, wfd int32, ok bool)
+	// SockHook opens a network socket bound to a local port, connected
+	// to a remote port, and returns its descriptor.
+	SockHook func(k *Kernel, t *Thread, local, remote uint32) (fd int32, ok bool)
 }
 
 // Thread is the Go-side mirror of a TTE (bookkeeping only; all thread
@@ -125,11 +129,13 @@ func Boot(cfg Config) *Kernel {
 	k.Disk = m68k.NewDisk(m, cfg.DiskBlocks)
 	k.AD = m68k.NewAD(m)
 	k.Cons = m68k.NewCons()
+	k.Net = m68k.NewNet(m)
 	m.Attach(k.Timer)
 	m.Attach(k.TTY)
 	m.Attach(k.Disk)
 	m.Attach(k.AD)
 	m.Attach(k.Cons)
+	m.Attach(k.Net)
 
 	k.FS = fs.New(m, k.Heap)
 
@@ -422,6 +428,20 @@ func (k *Kernel) registerServices() {
 		}
 		mm.D[0] = uint32(rfd)
 		mm.D[1] = uint32(wfd)
+		return 0
+	})
+	m.RegisterService(SvcSock, func(mm *m68k.Machine) uint64 {
+		t := k.Cur()
+		if k.SockHook == nil {
+			mm.D[0] = ^uint32(0)
+			return 0
+		}
+		fd, ok := k.SockHook(k, t, mm.D[1], mm.D[2])
+		if !ok {
+			mm.D[0] = ^uint32(0)
+			return 0
+		}
+		mm.D[0] = uint32(fd)
 		return 0
 	})
 }

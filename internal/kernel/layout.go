@@ -135,6 +135,7 @@ const (
 	SysPipe     = 10 // -> D0 = read fd, D1 = write fd
 	SysYield    = 11 // give up the CPU voluntarily
 	SysSeek     = 12 // D1 = fd, D2 = absolute position
+	SysSock     = 13 // D1 = local port, D2 = remote port -> D0 = fd or ^0
 )
 
 // KCALL service ids.
@@ -149,4 +150,5 @@ const (
 	SvcFPResynth = 8  // line-F trap: resynthesize switch code with FP
 	SvcRegister  = 9  // post-create registration of a thread
 	SvcTrace     = 10 // trace (single-step) completion: stop the thread
+	SvcSock      = 11 // open a network socket: queue alloc + send/recv synthesis
 )

@@ -419,7 +419,7 @@ func (k *Kernel) synthesizeDispatch(kq *synth.Quaject) uint32 {
 			{SysDestroy, "destroy"}, {SysStop, "stop"}, {SysStart, "start"},
 			{SysStep, "step"}, {SysSignal, "signal"}, {SysSetAlarm, "alarm"},
 			{SysExit, "exit"}, {SysPipe, "pipe"}, {SysYield, "yield"},
-			{SysSeek, "seek"},
+			{SysSeek, "seek"}, {SysSock, "sock"},
 		}
 		for _, cs := range cases {
 			e.Cmp(4, m68k.Imm(cs.fn), m68k.D(0))
@@ -519,6 +519,10 @@ func (k *Kernel) synthesizeDispatch(kq *synth.Quaject) uint32 {
 
 		e.Label("pipe")
 		e.Kcall(SvcPipe)
+		e.Rte()
+
+		e.Label("sock")
+		e.Kcall(SvcSock)
 		e.Rte()
 
 		e.Label("yield")

@@ -38,6 +38,13 @@ type IO struct {
 	diskIntH      uint32 // synthesized disk completion handler
 	diskWait      uint32 // wait cell for the (single) outstanding request
 	nextDiskBlock uint32 // host-side block allocation cursor
+
+	// Network server state.
+	netIntH     uint32 // synthesized receive interrupt handler (current)
+	netRing     uint32 // NIC DMA receive ring base
+	netTailCell uint32 // kernel mirror of the consumed-frame count
+	netDropCell uint32 // frames for ports nobody has open
+	socks       []*NSocket
 }
 
 // TTYIntHandler returns the synthesized tty interrupt handler's code
@@ -67,10 +74,12 @@ func Install(k *kernel.Kernel) *IO {
 	io.installTTY()
 	io.installAD()
 	io.installDisk()
+	io.installNet()
 
 	k.OpenHook = io.open
 	k.CloseHook = io.close
 	k.PipeHook = io.pipe
+	k.SockHook = io.sock
 	return io
 }
 
@@ -169,6 +178,9 @@ func (io *IO) open(k *kernel.Kernel, t *kernel.Thread, name string) (int32, bool
 func (io *IO) close(k *kernel.Kernel, t *kernel.Thread, fd int32) bool {
 	if t == nil || fd < 0 || int(fd) >= kernel.MaxFD || t.FDs[fd].Kind == "" {
 		return false
+	}
+	if t.FDs[fd].Kind == "sock" {
+		io.closeSocket(t, fd)
 	}
 	io.installFD(t, fd, 0, 0)
 	t.FDs[fd] = kernel.FDInfo{}

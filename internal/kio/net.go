@@ -1,0 +1,363 @@
+package kio
+
+import (
+	"synthesis/internal/kernel"
+	"synthesis/internal/m68k"
+	synnet "synthesis/internal/net"
+	"synthesis/internal/synth"
+)
+
+// The network device server: the Synthesis treatment of packet I/O.
+// The NIC DMAs arriving frames into a kernel descriptor ring; the
+// receive interrupt handler demultiplexes each frame by destination
+// port and deposits it into the owning socket's packet queue — the
+// optimistic MP-SC queue of Figure 2 laid out in machine memory
+// (CAS-claimed head, per-slot valid flags, single consumer trusting
+// only the flags). The demultiplex chain is resynthesized on every
+// socket open, so the port numbers are compare-immediates in the
+// handler, not a table walk (Factoring Invariants applied to the
+// interrupt path itself).
+//
+// Per-socket send and receive routines are synthesized by the socket
+// open: the peer ports, the staging buffer, the queue base and the
+// ring geometry are all folded into the emitted code, and the frame
+// header construction is inlined into the copy setup (Collapsing
+// Layers — there is no separate "header layer" at run time).
+
+// Per-socket packet queue layout in machine memory. Head and tail are
+// free-running counts; slot index = count & (NQSlotCount-1). A slot
+// holds [payload length (4)][payload bytes]. The valid flags are one
+// byte per slot: the producer's CAS on the head only claims a slot —
+// the flag store publishes it, and the consumer trusts nothing else.
+const (
+	NQHead      = 0  // producer claim count (CAS target)
+	NQTail      = 4  // consumer count
+	NQRWait     = 8  // reader wait cell
+	NQGauge     = 12 // frames deposited (I/O gauge)
+	NQDrops     = 16 // frames dropped at a full queue
+	NQFlags     = 20 // NQSlotCount valid-flag bytes
+	NQSlots     = 28 // slot array
+	NQSlotCount = 8
+	NQSlotBytes = 256
+	nqSize      = NQSlots + NQSlotCount*NQSlotBytes
+)
+
+// NIC receive ring geometry (kernel side).
+const (
+	netRingSlots  = 16
+	netRingSlotSz = 256
+)
+
+// NSocket is the host-side mirror of one open socket.
+type NSocket struct {
+	Local, Remote uint32
+	Queue         uint32 // packet queue base in machine memory
+	Stage         uint32 // transmit staging buffer
+	TTE           uint32
+	FD            int32
+}
+
+// NetIntHandler returns the current synthesized network receive
+// interrupt handler's code address.
+func (io *IO) NetIntHandler() uint32 { return io.netIntH }
+
+// NetSockets returns the open sockets (host view, for tests).
+func (io *IO) NetSockets() []*NSocket { return io.socks }
+
+// NetStackDrops returns frames the handler discarded because no
+// socket owned their destination port (host view).
+func (io *IO) NetStackDrops() uint32 {
+	return io.K.M.Peek(io.netDropCell, 4)
+}
+
+// installNet allocates the NIC's DMA receive ring, programs the
+// device, and installs the (initially socket-less) receive handler.
+func (io *IO) installNet() {
+	k := io.K
+	// [tail cell (4)][stack-drop cell (4)][ring slots]
+	base, err := k.Heap.Alloc(8 + netRingSlots*netRingSlotSz)
+	if err != nil {
+		panic("kio: cannot allocate NIC receive ring")
+	}
+	io.netTailCell = base
+	io.netDropCell = base + 4
+	io.netRing = base + 8
+	k.M.Poke(io.netTailCell, 4, 0)
+	k.M.Poke(io.netDropCell, 4, 0)
+
+	k.M.Store(m68k.NetBase+m68k.NetRegRxBase, 4, io.netRing)
+	k.M.Store(m68k.NetBase+m68k.NetRegRxSlots, 4, netRingSlots)
+	k.M.Store(m68k.NetBase+m68k.NetRegSlotSz, 4, netRingSlotSz)
+	k.M.Store(m68k.NetBase+m68k.NetRegCtl, 4, 1)
+
+	io.resynthNetHandler()
+}
+
+// resynthNetHandler rebuilds the receive interrupt handler with the
+// current socket set's ports folded in as compare-immediates, and
+// installs it in every vector table. The previous handler is
+// abandoned in code space, as the original kernel does.
+func (io *IO) resynthNetHandler() {
+	k := io.K
+	tailCell := io.netTailCell
+	dropCell := io.netDropCell
+	ring := io.netRing
+	rxHead := m68k.NetBase + m68k.NetRegRxHead
+	rxTail := m68k.NetBase + m68k.NetRegRxTail
+	socks := append([]*NSocket(nil), io.socks...)
+
+	io.netIntH = k.C.Synthesize(nil, "net_intr", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.D(0), m68k.PreDec(7))
+		e.MoveL(m68k.D(1), m68k.PreDec(7))
+		e.MoveL(m68k.D(2), m68k.PreDec(7))
+		e.MoveL(m68k.A(0), m68k.PreDec(7))
+		e.MoveL(m68k.A(1), m68k.PreDec(7))
+		e.MoveL(m68k.A(2), m68k.PreDec(7))
+
+		// Drain every frame the NIC has DMA'd: one interrupt covers a
+		// whole delivery batch.
+		e.Label("nd_drain")
+		e.MoveL(m68k.Abs(tailCell), m68k.D(0))
+		e.Cmp(4, m68k.Abs(rxHead), m68k.D(0))
+		e.Beq("nd_done")
+		// A0 = ring slot for this frame: base + (count & mask)*slotSz.
+		e.MoveL(m68k.D(0), m68k.D(1))
+		e.AndL(m68k.Imm(netRingSlots-1), m68k.D(1))
+		e.LslL(m68k.Imm(8), m68k.D(1)) // * netRingSlotSz
+		e.Lea(m68k.Abs(ring), 0)
+		e.AddL(m68k.D(1), m68k.A(0))
+		// Demultiplex on the destination port in the frame header. The
+		// open sockets' ports are synthesis-time constants: the "port
+		// table" is this compare chain.
+		e.MoveL(m68k.Disp(4, 0), m68k.D(1)) // dst port
+		for i, s := range socks {
+			e.CmpL(m68k.Imm(int32(s.Local)), m68k.D(1))
+			e.Beq(sockLabel(i))
+		}
+		e.AddL(m68k.Imm(1), m68k.Abs(dropCell)) // nobody home
+		e.Bra("nd_next")
+		for i, s := range socks {
+			e.Label(sockLabel(i))
+			e.Lea(m68k.Abs(s.Queue), 2)
+			e.Bra("nd_dep")
+		}
+		if len(socks) == 0 {
+			// Keep the shared deposit block reachable-by-label even
+			// with no sockets; it is simply never branched to.
+			e.Bra("nd_next")
+		}
+
+		// Shared deposit block: A0 = ring slot, A2 = socket queue.
+		// Optimistic MP-SC insert: CAS claims a slot on the head
+		// count, the copy fills it, the flag store publishes it.
+		e.Label("nd_dep")
+		e.MoveL(m68k.Disp(NQHead, 2), m68k.D(1))
+		e.Label("nd_claim")
+		e.MoveL(m68k.D(1), m68k.D(2))
+		e.SubL(m68k.Disp(NQTail, 2), m68k.D(2))
+		e.CmpL(m68k.Imm(NQSlotCount), m68k.D(2))
+		e.Bcc("nd_full")
+		e.MoveL(m68k.D(1), m68k.D(2))
+		e.AddL(m68k.Imm(1), m68k.D(2))
+		e.Cas(4, 1, 2, m68k.Disp(NQHead, 2))
+		e.Bne("nd_claim") // lost the race: D1 holds the fresh head
+		// Claimed slot: A1 = destination, then strip the header as
+		// part of the copy setup — source starts past [len][dst][src].
+		e.AndL(m68k.Imm(NQSlotCount-1), m68k.D(1))
+		e.MoveL(m68k.D(1), m68k.PreDec(7)) // slot index, for the flag
+		e.LslL(m68k.Imm(8), m68k.D(1))     // * NQSlotBytes
+		e.Lea(m68k.Disp(NQSlots, 2), 1)
+		e.AddL(m68k.D(1), m68k.A(1))
+		e.MoveL(m68k.Ind(0), m68k.D(1)) // frame length
+		e.SubL(m68k.Imm(synnet.HeaderBytes), m68k.D(1))
+		e.MoveL(m68k.D(1), m68k.Ind(1)) // slot payload length
+		e.Lea(m68k.Disp(4, 1), 1)
+		e.Lea(m68k.Disp(4+synnet.HeaderBytes, 0), 0)
+		emitCopy(e) // D1 payload bytes, (A0)+ -> (A1)+
+		// Publish: only the flag makes the slot visible.
+		e.MoveL(m68k.PostInc(7), m68k.D(1))
+		e.MoveL(m68k.Imm(1), m68k.D(2))
+		e.Lea(m68k.Disp(NQFlags, 2), 0)
+		e.MoveB(m68k.D(2), m68k.Idx(0, 0, 1, 1)) // flags[index] = 1
+		e.AddL(m68k.Imm(1), m68k.Disp(NQGauge, 2))
+		// "A waiting thread's unblocking procedure is chained to the
+		// end of the interrupt handling."
+		e.Lea(m68k.Disp(NQRWait, 2), 0)
+		e.Jsr(k.WakeCellRoutine())
+		e.Bra("nd_next")
+		e.Label("nd_full")
+		e.AddL(m68k.Imm(1), m68k.Disp(NQDrops, 2))
+
+		// Return the ring slot to the NIC.
+		e.Label("nd_next")
+		e.AddL(m68k.Imm(1), m68k.Abs(tailCell))
+		e.MoveL(m68k.Abs(tailCell), m68k.D(0))
+		e.MoveL(m68k.D(0), m68k.Abs(rxTail))
+		e.Bra("nd_drain")
+
+		e.Label("nd_done")
+		e.MoveL(m68k.PostInc(7), m68k.A(2))
+		e.MoveL(m68k.PostInc(7), m68k.A(1))
+		e.MoveL(m68k.PostInc(7), m68k.A(0))
+		e.MoveL(m68k.PostInc(7), m68k.D(2))
+		e.MoveL(m68k.PostInc(7), m68k.D(1))
+		e.MoveL(m68k.PostInc(7), m68k.D(0))
+		e.Rte()
+	})
+	io.pokeAllVectors(m68k.VecAutovector+m68k.IRQNet, io.netIntH)
+}
+
+func sockLabel(i int) string {
+	return "nd_s" + string(rune('0'+i))
+}
+
+// OpenSocket binds a datagram socket to a local port, connected to a
+// remote port, synthesizing its send and receive routines and
+// installing them on a fresh descriptor of t. Returns -1 when the
+// port is taken or descriptors are exhausted.
+func (io *IO) OpenSocket(t *kernel.Thread, local, remote uint32) int32 {
+	k := io.K
+	if t == nil {
+		return -1
+	}
+	for _, s := range io.socks {
+		if s.Local == local {
+			return -1
+		}
+	}
+	fd := allocFD(t)
+	if fd < 0 {
+		return -1
+	}
+	q, err := k.Heap.Alloc(nqSize)
+	if err != nil {
+		return -1
+	}
+	stage, err := k.Heap.Alloc(synnet.FrameMax)
+	if err != nil {
+		return -1
+	}
+	for off := uint32(0); off < NQSlots; off += 4 {
+		k.M.Poke(q+off, 4, 0)
+	}
+	s := &NSocket{Local: local, Remote: remote, Queue: q, Stage: stage, TTE: t.TTE, FD: fd}
+	io.socks = append(io.socks, s)
+	io.resynthNetHandler()
+
+	read := io.synthSockRecv(t, fd, s)
+	write := io.synthSockSend(t, fd, s)
+	t.FDs[fd] = kernel.FDInfo{Kind: "sock", Aux: q}
+	k.M.Poke(kernel.FDCell(t.TTE, int(fd), kernel.FDAux), 4, q)
+	k.M.Poke(kernel.FDCell(t.TTE, int(fd), kernel.FDPos), 4, 0)
+	io.installFD(t, fd, read, write)
+	return fd
+}
+
+// sock implements the kernel's SockHook.
+func (io *IO) sock(k *kernel.Kernel, t *kernel.Thread, local, remote uint32) (int32, bool) {
+	fd := io.OpenSocket(t, local, remote)
+	return fd, fd >= 0
+}
+
+// closeSocket removes a closed descriptor's socket from the
+// demultiplex set and rebuilds the handler.
+func (io *IO) closeSocket(t *kernel.Thread, fd int32) {
+	for i, s := range io.socks {
+		if s.TTE == t.TTE && s.FD == fd {
+			io.socks = append(io.socks[:i], io.socks[i+1:]...)
+			io.resynthNetHandler()
+			return
+		}
+	}
+}
+
+// synthSockSend emits the socket's write routine: send(d1=buf,
+// d2=len) -> d0 = payload bytes sent. The destination and source
+// ports are immediates stored straight into the staging frame — the
+// header "layer" has been collapsed into two constant stores — and
+// the NIC launch is two folded-address register stores under a brief
+// mask so concurrent senders cannot interleave the address/length
+// pair.
+func (io *IO) synthSockSend(t *kernel.Thread, fd int32, s *NSocket) uint32 {
+	stage := s.Stage
+	g := kernel.FDCell(t.TTE, int(fd), kernel.FDGauge)
+	txAddr := m68k.NetBase + m68k.NetRegTxAddr
+	txLen := m68k.NetBase + m68k.NetRegTxLen
+	return io.K.C.Synthesize(t.Q, "sock_send", nil, func(e *synth.Emitter) {
+		e.CmpL(m68k.Imm(synnet.MTU), m68k.D(2))
+		e.Bls("ss_fit")
+		e.MoveL(m68k.Imm(synnet.MTU), m68k.D(2))
+		e.Label("ss_fit")
+		// The frame header, as two immediate stores.
+		e.MoveL(m68k.Imm(int32(s.Remote)), m68k.Abs(stage+0))
+		e.MoveL(m68k.Imm(int32(s.Local)), m68k.Abs(stage+4))
+		e.MoveL(m68k.D(2), m68k.PreDec(7)) // payload length
+		e.MoveL(m68k.D(1), m68k.A(0))
+		e.Lea(m68k.Abs(stage+synnet.HeaderBytes), 1)
+		e.MoveL(m68k.D(2), m68k.D(1))
+		emitCopy(e)
+		e.MoveL(m68k.PostInc(7), m68k.D(0))
+		// Launch. The receive interrupt for loopback traffic latches
+		// during the masked pair and is taken right after the unmask.
+		e.OrSR(iplMaskBits)
+		e.MoveL(m68k.Imm(int32(stage)), m68k.Abs(txAddr))
+		e.MoveL(m68k.D(0), m68k.D(1))
+		e.AddL(m68k.Imm(synnet.HeaderBytes), m68k.D(1))
+		e.MoveL(m68k.D(1), m68k.Abs(txLen)) // the store launches the frame
+		e.AndSR(^uint16(iplMaskBits))
+		e.AddL(m68k.D(0), m68k.Abs(g))
+		e.Rte()
+	})
+}
+
+// synthSockRecv emits the socket's read routine: recv(d1=buf,
+// d2=len) -> d0 = payload bytes. The queue base, flag array and slot
+// geometry are folded constants; the consumer trusts only the
+// per-slot valid flag, parking on the reader cell with the interrupt
+// level raised across the check (the producer is the receive
+// interrupt handler).
+func (io *IO) synthSockRecv(t *kernel.Thread, fd int32, s *NSocket) uint32 {
+	q := s.Queue
+	g := kernel.FDCell(t.TTE, int(fd), kernel.FDGauge)
+	return io.K.C.Synthesize(t.Q, "sock_recv", nil, func(e *synth.Emitter) {
+		e.Label("sr_wait")
+		e.OrSR(iplMaskBits)
+		e.MoveL(m68k.Abs(q+NQTail), m68k.D(0))
+		e.AndL(m68k.Imm(NQSlotCount-1), m68k.D(0))
+		e.Lea(m68k.Abs(q+NQFlags), 0)
+		e.Tst(1, m68k.Idx(0, 0, 0, 1)) // flags[tail & mask]
+		e.Bne("sr_have")
+		e.Lea(m68k.Abs(q+NQRWait), 0)
+		e.Jsr(io.K.BlockOnRoutine())
+		e.AndSR(^uint16(iplMaskBits))
+		e.Bra("sr_wait")
+		e.Label("sr_have")
+		e.AndSR(^uint16(iplMaskBits))
+		// A0 = slot; the flag alone published it, so the copy runs
+		// unmasked.
+		e.MoveL(m68k.D(0), m68k.PreDec(7)) // slot index
+		e.LslL(m68k.Imm(8), m68k.D(0))     // * NQSlotBytes
+		e.Lea(m68k.Abs(q+NQSlots), 0)
+		e.AddL(m68k.D(0), m68k.A(0))
+		e.MoveL(m68k.Ind(0), m68k.D(0)) // payload length
+		e.Cmp(4, m68k.D(2), m68k.D(0))
+		e.Bls("sr_fit")
+		e.MoveL(m68k.D(2), m68k.D(0)) // clamp to the caller's buffer
+		e.Label("sr_fit")
+		e.MoveL(m68k.D(1), m68k.A(1))
+		e.Lea(m68k.Disp(4, 0), 0)
+		e.MoveL(m68k.D(0), m68k.PreDec(7)) // return count
+		e.MoveL(m68k.D(0), m68k.D(1))
+		emitCopy(e)
+		e.MoveL(m68k.PostInc(7), m68k.D(0))
+		// Retire the slot: clear the flag first, then advance the
+		// tail — a producer may claim the slot the moment the tail
+		// moves.
+		e.MoveL(m68k.PostInc(7), m68k.D(1))
+		e.Lea(m68k.Abs(q+NQFlags), 0)
+		e.Clr(1, m68k.Idx(0, 0, 1, 1))
+		e.AddL(m68k.Imm(1), m68k.Abs(q+NQTail))
+		e.AddL(m68k.D(0), m68k.Abs(g))
+		e.Rte()
+	})
+}

@@ -1,0 +1,185 @@
+package kio_test
+
+import (
+	"testing"
+
+	"synthesis/internal/kernel"
+	"synthesis/internal/kio"
+	"synthesis/internal/m68k"
+	"synthesis/internal/synth"
+)
+
+// emitSock opens a socket: local port D1, remote port D2, fd in D0.
+func emitSock(e *synth.Emitter, local, remote int32) {
+	e.MoveL(m68k.Imm(kernel.SysSock), m68k.D(0))
+	e.MoveL(m68k.Imm(local), m68k.D(1))
+	e.MoveL(m68k.Imm(remote), m68k.D(2))
+	e.Trap(kernel.TrapSys)
+}
+
+func TestSocketLoopbackSameThread(t *testing.T) {
+	k, io := boot(t)
+	const res, wbuf, rbuf = 0x9000, 0x9300, 0x9700
+	k.M.PokeBytes(wbuf, []byte("ping!"))
+	prog := k.C.Synthesize(nil, "main", nil, func(e *synth.Emitter) {
+		emitSock(e, 5, 9) // fd 0
+		e.MoveL(m68k.D(0), m68k.Abs(res))
+		emitSock(e, 9, 5) // fd 1
+		e.MoveL(m68k.D(0), m68k.Abs(res+4))
+		// A duplicate local port must fail.
+		emitSock(e, 5, 77)
+		e.MoveL(m68k.D(0), m68k.Abs(res+8))
+		// Send on fd 0: the loopback NIC DMAs the frame back and the
+		// receive interrupt deposits it into fd 1's queue before the
+		// send trap returns.
+		e.MoveL(m68k.Imm(wbuf), m68k.D(1))
+		e.MoveL(m68k.Imm(5), m68k.D(2))
+		e.Trap(kernel.TrapWrite + 0)
+		e.MoveL(m68k.D(0), m68k.Abs(res+12))
+		// Receive on fd 1.
+		e.MoveL(m68k.Imm(rbuf), m68k.D(1))
+		e.MoveL(m68k.Imm(64), m68k.D(2))
+		e.Trap(kernel.TrapRead + 1)
+		e.MoveL(m68k.D(0), m68k.Abs(res+16))
+		exitSeq(e)
+	})
+	th := k.SpawnKernel("main", prog)
+	run(t, k, th, 20_000_000)
+	if got := int32(k.M.Peek(res, 4)); got != 0 {
+		t.Errorf("first socket fd = %d, want 0", got)
+	}
+	if got := int32(k.M.Peek(res+4, 4)); got != 1 {
+		t.Errorf("second socket fd = %d, want 1", got)
+	}
+	if got := int32(k.M.Peek(res+8, 4)); got != -1 {
+		t.Errorf("duplicate port open = %d, want -1", got)
+	}
+	if got := k.M.Peek(res+12, 4); got != 5 {
+		t.Errorf("send = %d, want 5", got)
+	}
+	if got := k.M.Peek(res+16, 4); got != 5 {
+		t.Errorf("recv = %d, want 5", got)
+	}
+	if got := string(k.M.PeekBytes(rbuf, 5)); got != "ping!" {
+		t.Errorf("payload %q, want \"ping!\"", got)
+	}
+	if io.NetStackDrops() != 0 {
+		t.Errorf("stack drops = %d", io.NetStackDrops())
+	}
+}
+
+func TestSocketBlockingRecvAcrossThreads(t *testing.T) {
+	k, io := boot(t)
+	const res, wbuf, rbuf = 0x9000, 0x9300, 0x9700
+	k.M.PokeBytes(wbuf, []byte("wake"))
+
+	// The reader runs first and parks on its empty socket; the sender
+	// then transmits and the receive interrupt's wakeup unblocks it.
+	reader := k.C.Synthesize(nil, "reader", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.Imm(rbuf), m68k.D(1))
+		e.MoveL(m68k.Imm(64), m68k.D(2))
+		e.Trap(kernel.TrapRead + 0)
+		e.MoveL(m68k.D(0), m68k.Abs(res))
+		exitSeq(e)
+	})
+	sender := k.C.Synthesize(nil, "sender", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.Imm(wbuf), m68k.D(1))
+		e.MoveL(m68k.Imm(4), m68k.D(2))
+		e.Trap(kernel.TrapWrite + 0)
+		e.MoveL(m68k.D(0), m68k.Abs(res+4))
+		exitSeq(e)
+	})
+	tr := k.SpawnKernel("reader", reader)
+	ts := k.SpawnKernel("sender", sender)
+	if io.OpenSocket(tr, 9, 5) != 0 {
+		t.Fatal("reader socket fd")
+	}
+	if io.OpenSocket(ts, 5, 9) != 0 {
+		t.Fatal("sender socket fd")
+	}
+	run(t, k, tr, 50_000_000)
+	if got := k.M.Peek(res, 4); got != 4 {
+		t.Errorf("blocked recv = %d, want 4", got)
+	}
+	if got := string(k.M.PeekBytes(rbuf, 4)); got != "wake" {
+		t.Errorf("payload %q, want \"wake\"", got)
+	}
+	if got := k.M.Peek(res+4, 4); got != 4 {
+		t.Errorf("send = %d, want 4", got)
+	}
+}
+
+func TestSocketUnboundPortCountsStackDrop(t *testing.T) {
+	k, io := boot(t)
+	const wbuf = 0x9300
+	prog := k.C.Synthesize(nil, "main", nil, func(e *synth.Emitter) {
+		emitSock(e, 3, 4242) // nobody listens on 4242
+		e.MoveL(m68k.Imm(wbuf), m68k.D(1))
+		e.MoveL(m68k.Imm(8), m68k.D(2))
+		e.Trap(kernel.TrapWrite + 0)
+		exitSeq(e)
+	})
+	th := k.SpawnKernel("main", prog)
+	run(t, k, th, 20_000_000)
+	if got := io.NetStackDrops(); got != 1 {
+		t.Errorf("stack drops = %d, want 1", got)
+	}
+}
+
+func TestSocketCloseRemovesDemux(t *testing.T) {
+	k, io := boot(t)
+	const res, wbuf = 0x9000, 0x9300
+	prog := k.C.Synthesize(nil, "main", nil, func(e *synth.Emitter) {
+		emitSock(e, 5, 9) // fd 0
+		emitSock(e, 9, 5) // fd 1
+		// Close the receiver; its port must vanish from the handler.
+		e.MoveL(m68k.Imm(kernel.SysClose), m68k.D(0))
+		e.MoveL(m68k.Imm(1), m68k.D(1))
+		e.Trap(kernel.TrapSys)
+		e.MoveL(m68k.D(0), m68k.Abs(res))
+		e.MoveL(m68k.Imm(wbuf), m68k.D(1))
+		e.MoveL(m68k.Imm(4), m68k.D(2))
+		e.Trap(kernel.TrapWrite + 0)
+		exitSeq(e)
+	})
+	th := k.SpawnKernel("main", prog)
+	run(t, k, th, 20_000_000)
+	if got := int32(k.M.Peek(res, 4)); got != 0 {
+		t.Errorf("close = %d, want 0", got)
+	}
+	if got := io.NetStackDrops(); got != 1 {
+		t.Errorf("frame for closed port: stack drops = %d, want 1", got)
+	}
+	if n := len(io.NetSockets()); n != 1 {
+		t.Errorf("open sockets = %d, want 1", n)
+	}
+}
+
+func TestSocketQueueOverflowDrops(t *testing.T) {
+	k, io := boot(t)
+	const res, wbuf = 0x9000, 0x9300
+	// Fire more frames than the receiver's queue holds while nobody
+	// reads: the deposit path must drop the excess, not corrupt.
+	prog := k.C.Synthesize(nil, "main", nil, func(e *synth.Emitter) {
+		emitSock(e, 5, 9) // fd 0
+		emitSock(e, 9, 5) // fd 1, never read
+		e.MoveL(m68k.Imm(int32(kio.NQSlotCount)+4), m68k.D(5))
+		e.Label("flood")
+		e.MoveL(m68k.Imm(wbuf), m68k.D(1))
+		e.MoveL(m68k.Imm(16), m68k.D(2))
+		e.Trap(kernel.TrapWrite + 0)
+		e.SubL(m68k.Imm(1), m68k.D(5))
+		e.Bne("flood")
+		e.MoveL(m68k.D(0), m68k.Abs(res))
+		exitSeq(e)
+	})
+	th := k.SpawnKernel("main", prog)
+	run(t, k, th, 50_000_000)
+	s := io.NetSockets()[1]
+	if got := k.M.Peek(s.Queue+kio.NQDrops, 4); got != 4 {
+		t.Errorf("queue drops = %d, want 4", got)
+	}
+	if got := k.M.Peek(s.Queue+kio.NQGauge, 4); got != kio.NQSlotCount {
+		t.Errorf("frames deposited = %d, want %d", got, kio.NQSlotCount)
+	}
+}

@@ -1,0 +1,167 @@
+package m68k
+
+// The network interface: a DMA frame device in the style of the
+// Quamachine's disk controller, rounding out the device complement for
+// packet I/O. Transmit is a two-register fire: software stages a frame
+// anywhere in memory, writes its address and then its length (the
+// length store launches the frame). Receive is a descriptor ring:
+// software hands the device a ring of fixed-size slots in machine
+// memory and the device DMAs each arriving frame into the next free
+// slot — [length (4)][frame bytes] — advancing a free-running head
+// count and raising IRQNet. Software consumes slots in order and
+// returns them by advancing the tail register.
+//
+// Wiring is a loopback link: a NIC delivers into its peer, which by
+// default is itself, so two sockets on one machine exchange frames;
+// ConnectNet cross-wires two machines.
+
+// NetBase is the NIC's 256-byte register window.
+const NetBase = IOBase + 0x500
+
+// IRQNet is the NIC's interrupt priority: below the disk — bulk frame
+// DMA tolerates latency that the byte-at-a-time devices do not.
+const IRQNet = 1
+
+// NIC register offsets.
+const (
+	NetRegTxAddr  uint32 = 0x00 // write: staged frame address
+	NetRegTxLen   uint32 = 0x04 // write: frame length; the store launches the frame
+	NetRegRxBase  uint32 = 0x08 // write: receive ring base address
+	NetRegRxSlots uint32 = 0x0c // write: ring slot count (power of two)
+	NetRegSlotSz  uint32 = 0x10 // write: bytes per ring slot
+	NetRegCtl     uint32 = 0x14 // write: bit0 = receive enable
+	NetRegRxHead  uint32 = 0x18 // read: frames DMA'd so far (free-running)
+	NetRegRxTail  uint32 = 0x1c // write: frames consumed so far (frees slots)
+	NetRegTxCount uint32 = 0x20 // read: frames launched so far
+	NetRegDrops   uint32 = 0x24 // read: frames dropped (ring full/oversize/disabled)
+)
+
+// Net is the network interface device.
+type Net struct {
+	m *Machine
+
+	// LatencyCycles delays the receive interrupt after a frame lands.
+	// The default of zero models cut-through loopback: the frame is in
+	// the ring before the transmitting store completes.
+	LatencyCycles uint64
+
+	peer *Net // delivery target; nil = self (loopback)
+
+	txAddr  uint32
+	rxBase  uint32
+	rxSlots uint32
+	slotSz  uint32
+	enabled bool
+
+	rxHead uint32 // free-running count of frames DMA'd in
+	rxTail uint32 // free-running count of frames consumed
+	txCnt  uint32
+	drops  uint32
+
+	irqAt uint64 // absolute cycle of the pending receive interrupt (0 = none)
+}
+
+// NewNet creates a NIC looped back onto itself.
+func NewNet(m *Machine) *Net { return &Net{m: m} }
+
+// ConnectNet cross-wires two NICs (typically on two machines): frames
+// launched on one land in the other's receive ring.
+func ConnectNet(a, b *Net) {
+	a.peer = b
+	b.peer = a
+}
+
+// Name implements Device.
+func (n *Net) Name() string { return "net" }
+
+// Base implements Device.
+func (n *Net) Base() uint32 { return NetBase }
+
+// Size implements Device.
+func (n *Net) Size() uint32 { return 0x100 }
+
+// Load implements Device.
+func (n *Net) Load(off uint32, sz uint8) uint32 {
+	switch off {
+	case NetRegRxHead:
+		return n.rxHead
+	case NetRegTxCount:
+		return n.txCnt
+	case NetRegDrops:
+		return n.drops
+	}
+	return 0
+}
+
+// Store implements Device.
+func (n *Net) Store(off uint32, sz uint8, val uint32) {
+	switch off {
+	case NetRegTxAddr:
+		n.txAddr = val
+	case NetRegTxLen:
+		n.txCnt++
+		frame := n.m.PeekBytes(n.txAddr, int(val))
+		target := n.peer
+		if target == nil {
+			target = n
+		}
+		target.Deliver(frame)
+	case NetRegRxBase:
+		n.rxBase = val
+	case NetRegRxSlots:
+		n.rxSlots = val
+	case NetRegSlotSz:
+		n.slotSz = val
+	case NetRegCtl:
+		n.enabled = val&1 != 0
+	case NetRegRxTail:
+		n.rxTail = val
+	}
+}
+
+// Deliver DMAs a frame "from the wire" into the receive ring and
+// schedules the receive interrupt. InjectFrame is the host-facing
+// alias for tests and traffic generators.
+func (n *Net) Deliver(frame []byte) {
+	if !n.enabled || n.rxSlots == 0 || n.slotSz == 0 ||
+		uint32(len(frame))+4 > n.slotSz ||
+		n.rxHead-n.rxTail >= n.rxSlots {
+		n.drops++
+		return
+	}
+	slot := n.rxBase + (n.rxHead&(n.rxSlots-1))*n.slotSz
+	n.m.Poke(slot, 4, uint32(len(frame)))
+	n.m.PokeBytes(slot+4, frame)
+	n.rxHead++
+	if n.irqAt == 0 {
+		n.irqAt = n.m.Cycles + n.LatencyCycles
+		if n.irqAt == 0 {
+			n.irqAt = 1 // cycle 0 would read as "no interrupt pending"
+		}
+	}
+	n.m.Kick(n)
+}
+
+// InjectFrame delivers a frame as if it arrived from the network.
+func (n *Net) InjectFrame(frame []byte) { n.Deliver(frame) }
+
+// RxPending returns how many DMA'd frames await consumption (host
+// view, for tests).
+func (n *Net) RxPending() uint32 { return n.rxHead - n.rxTail }
+
+// Dropped returns the drop count (host view).
+func (n *Net) Dropped() uint32 { return n.drops }
+
+// Tick implements Device: one interrupt per delivery batch — the
+// handler drains every frame up to the head count, so a new interrupt
+// is only scheduled by the next Deliver.
+func (n *Net) Tick(now uint64) (int, uint64) {
+	if n.irqAt == 0 {
+		return 0, 0
+	}
+	if now < n.irqAt {
+		return 0, n.irqAt
+	}
+	n.irqAt = 0
+	return IRQNet, 0
+}

@@ -1,0 +1,241 @@
+package net
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestPacketRingNoLossNoDup is the MPSC property test: N goroutine
+// producers racing single-frame puts, plus an "interrupt context"
+// producer depositing atomic bursts (the receive-handler batching
+// case), against a single consumer. Every frame put must be got
+// exactly once, in per-producer order. Run under -race.
+func TestPacketRingNoLossNoDup(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 800
+		burstProd = producers // id of the burst producer
+		burstLen  = 16
+		bursts    = perProd / burstLen
+	)
+	r := NewPacketRing(64)
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(id uint32) {
+			defer wg.Done()
+			for seq := uint32(0); seq < perProd; seq++ {
+				f := Frame{Dst: 1, Src: id, Payload: []byte{byte(seq), byte(seq >> 8)}}
+				for !r.Put(f) {
+					// Ring full: the device would drop; the test
+					// re-offers so accounting stays exact.
+					runtime.Gosched()
+				}
+			}
+		}(uint32(p))
+	}
+	// The interrupt-context producer: whole bursts claimed with one
+	// CAS, slots filled while other producers fill theirs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		seq := uint32(0)
+		for b := 0; b < bursts; b++ {
+			fs := make([]Frame, burstLen)
+			for i := range fs {
+				fs[i] = Frame{Dst: 1, Src: burstProd, Payload: []byte{byte(seq), byte(seq >> 8)}}
+				seq++
+			}
+			for !r.PutBurst(fs) {
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	total := producers*perProd + bursts*burstLen
+	next := make([]uint32, producers+1) // expected next sequence per producer
+	got := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for got < total {
+			f, ok := r.Get()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			seq := uint32(f.Payload[0]) | uint32(f.Payload[1])<<8
+			if f.Src > producers {
+				t.Errorf("frame from unknown producer %d", f.Src)
+				return
+			}
+			if seq != next[f.Src] {
+				t.Errorf("producer %d: got seq %d, want %d (lost or duplicated)", f.Src, seq, next[f.Src])
+				return
+			}
+			next[f.Src]++
+			got++
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got != total {
+		t.Fatalf("consumed %d frames, want %d", got, total)
+	}
+	for p, n := range next {
+		if n != perProd {
+			t.Errorf("producer %d: %d frames consumed, want %d", p, n, perProd)
+		}
+	}
+	// Every failed Put/PutBurst above counted a drop and was
+	// re-offered, so nothing was lost; the counter only proves the
+	// full-ring path was exercised.
+}
+
+// TestBurstAtomicity checks that a burst's frames occupy consecutive
+// positions: with single-frame producers racing against bursts, each
+// burst must still come out contiguous.
+func TestBurstAtomicity(t *testing.T) {
+	r := NewPacketRing(64)
+	const bursts, burstLen = 200, 8
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // noise producer
+		defer wg.Done()
+		for i := 0; i < bursts*burstLen; i++ {
+			for !r.Put(Frame{Src: 99}) {
+				runtime.Gosched()
+			}
+		}
+	}()
+	go func() { // burst producer
+		defer wg.Done()
+		for b := 0; b < bursts; b++ {
+			fs := make([]Frame, burstLen)
+			for i := range fs {
+				fs[i] = Frame{Src: 1, Dst: uint32(b*burstLen + i)}
+			}
+			for !r.PutBurst(fs) {
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	total := 2 * bursts * burstLen
+	want := uint32(0) // next expected burst element
+	for got := 0; got < total; {
+		f, ok := r.Get()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		got++
+		if f.Src != 1 {
+			continue
+		}
+		if f.Dst != want {
+			t.Fatalf("burst element %d arrived, want %d: burst interleaved", f.Dst, want)
+		}
+		want++
+		// Within a burst, the next element must be the very next frame
+		// out of the ring (contiguity).
+		for want%burstLen != 0 {
+			g, ok := r.Get()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			got++
+			if g.Src != 1 || g.Dst != want {
+				t.Fatalf("burst broken at element %d", want)
+			}
+			want++
+		}
+	}
+	wg.Wait()
+}
+
+func TestStackLoopback(t *testing.T) {
+	s := NewLoopback()
+	a, err := s.Open(5, 9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Open(9, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Open(5, 1, 8); err == nil {
+		t.Fatal("double bind of port 5 succeeded")
+	}
+
+	if err := a.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Recv(); string(got) != "ping" {
+		t.Fatalf("b received %q", got)
+	}
+	if err := b.Send([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Recv(); string(got) != "pong" {
+		t.Fatalf("a received %q", got)
+	}
+
+	// Frames for an unbound port are dropped and counted.
+	c, _ := s.Open(7, 4242, 8)
+	c.Send([]byte("void"))
+	if s.Drops() != 1 {
+		t.Fatalf("stack drops = %d, want 1", s.Drops())
+	}
+}
+
+func TestStackPairConcurrent(t *testing.T) {
+	sa, sb := NewPair()
+	a, err := sa.Open(1, 2, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sb.Open(2, 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 1000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			p := []byte{byte(i), byte(i >> 8)}
+			for b.rx.Len() >= b.rx.Cap()-1 {
+				// Keep the receiver ahead so nothing drops.
+				runtime.Gosched()
+			}
+			if err := a.Send(p); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		p := b.Recv()
+		if got := int(p[0]) | int(p[1])<<8; got != i {
+			t.Fatalf("frame %d arrived as %d", i, got)
+		}
+	}
+	wg.Wait()
+
+	a.Close()
+	if err := a.Send([]byte("x")); err == nil {
+		t.Fatal("send on closed socket succeeded")
+	}
+	b.Close()
+	if p := b.Recv(); p != nil {
+		t.Fatalf("recv on closed empty socket returned %q", p)
+	}
+}

@@ -21,8 +21,8 @@ import (
 //	accounting, wakeup) or cdevsw character switch (second
 //	indirection) for devices.
 
-// Number of sysent slots.
-const nsys = 48
+// Number of sysent slots (the 4.2BSD socket call is number 97).
+const nsys = 128
 
 // buildRoutines assembles everything and records entry points.
 func (k *Kernel) buildRoutines() {
@@ -132,6 +132,7 @@ func (k *Kernel) buildRoutines() {
 	specR, specW := k.buildSpec(cdevswR, cdevswW)
 	pipeR, pipeW := k.buildPipe(bcopy, wakeup)
 	namei := k.buildNamei()
+	sysSock, sockR, sockW := k.buildSock(bcopy, wakeup, falloc)
 
 	// ------------------------------------------------- sys handlers
 
@@ -332,6 +333,7 @@ func (k *Kernel) buildRoutines() {
 	poke(sysent, 6, sysClose)
 	poke(sysent, 19, sysLseek)
 	poke(sysent, 42, sysPipe)
+	poke(sysent, 97, sysSock)
 
 	for i := 0; i < 8; i++ {
 		poke(fopsRead, i, nosys)
@@ -345,6 +347,8 @@ func (k *Kernel) buildRoutines() {
 	poke(fopsWrite, ftNull, specW)
 	poke(fopsRead, ftTTY, specR)
 	poke(fopsWrite, ftTTY, specW)
+	poke(fopsRead, ftSock, sockR)
+	poke(fopsWrite, ftSock, sockW)
 
 	poke(cdevswR, 0, nullR)
 	poke(cdevswW, 0, nullW)

@@ -1,0 +1,242 @@
+package sunos
+
+import (
+	"synthesis/internal/asmkit"
+	"synthesis/internal/m68k"
+	synnet "synthesis/internal/net"
+)
+
+// Generic layered sockets: the baseline for Table 6. Everything the
+// synthesized socket path folds away at open time is fetched and
+// validated here on every call, because that is how the traditional
+// stack works:
+//
+//   - every send re-reads the peer ports from the socket structure
+//     and demultiplexes by a linear scan over the socket table (the
+//     run-time "port lookup" the synthesized handler replaces with a
+//     compare-immediate);
+//   - the receive ring is protected by a test-and-set sleep lock plus
+//     an interrupt-priority raise (the semaphore-locked ring), not by
+//     the optimistic flag discipline;
+//   - the frame header is built and validated by separate subroutines
+//     reading socket state from memory — the layer boundary the
+//     synthesized path collapses into the copy setup;
+//   - data moves through the byte-at-a-time bcopy, and every
+//     delivery/consumption ends in the wakeup process-table scan.
+//
+// The baseline kernel is single-process with no NIC: loopback frames
+// move between in-memory rings, which only flatters it — the generic
+// path measured here pays no interrupt cost at all.
+
+// Socket table entry layout: bookkeeping head, then the receive ring
+// of fixed slots. Head and tail are free-running counts; slot index =
+// count & (sSlotCount-1). A slot carries the full frame: [payload
+// length][dst port][src port][payload].
+const (
+	soUsed   = 0
+	soLocal  = 4
+	soRemote = 8
+	soHead   = 12
+	soTail   = 16
+	soLock   = 20
+	soSlots  = 24
+	soBytes  = soSlots + sSlotCount*sSlotBytes
+
+	sPLen      = 0
+	sDst       = 4
+	sSrc       = 8
+	sData      = 12
+	sSlotCount = 8
+	sSlotBytes = 256
+
+	nsock = 8
+)
+
+// buildSock assembles the socket system call and the f_ops read/write
+// pair. Returns (syssock, soreceive, sosend).
+func (k *Kernel) buildSock(bcopy, wakeup, falloc uint32) (uint32, uint32, uint32) {
+	m := k.M
+	pool := k.sockPool
+
+	// sohdr: build the frame header in the destination slot from
+	// socket state — a separate layer called per packet. A2 = sending
+	// socket, A5 = destination slot, D3 = payload length.
+	bh := asmkit.New()
+	bh.MoveL(m68k.D(3), m68k.Ind(5))
+	bh.MoveL(m68k.Disp(soRemote, 2), m68k.D(0))
+	bh.MoveL(m68k.D(0), m68k.Disp(sDst, 5))
+	bh.MoveL(m68k.Disp(soLocal, 2), m68k.D(0))
+	bh.MoveL(m68k.D(0), m68k.Disp(sSrc, 5))
+	bh.Rts()
+	sohdr := bh.Link(m)
+
+	// sohval: validate a received frame's header against the socket —
+	// the mirror-image per-packet layer on the consume side. A2 =
+	// receiving socket, A5 = slot. D0 = 0 if the frame is not ours.
+	bv := asmkit.New()
+	bv.MoveL(m68k.Disp(sDst, 5), m68k.D(0))
+	bv.Cmp(4, m68k.Disp(soLocal, 2), m68k.D(0))
+	bv.Beq("ok")
+	bv.Clr(4, m68k.D(0))
+	bv.Rts()
+	bv.Label("ok")
+	bv.MoveL(m68k.Imm(1), m68k.D(0))
+	bv.Rts()
+	sohval := bv.Link(m)
+
+	// syssock: D1 = local port, D2 = remote port -> D0 = fd. Two
+	// linear scans of the socket table (uniqueness, then a free
+	// entry), then falloc.
+	bs := asmkit.New()
+	bs.Lea(m68k.Abs(pool), 2)
+	bs.MoveL(m68k.Imm(nsock-1), m68k.D(5))
+	bs.Label("scan")
+	bs.TstL(m68k.Ind(2))
+	bs.Beq("snext")
+	bs.Cmp(4, m68k.Disp(soLocal, 2), m68k.D(1))
+	bs.Beq("bad") // port in use
+	bs.Label("snext")
+	bs.Lea(m68k.Disp(soBytes, 2), 2)
+	bs.Dbra(5, "scan")
+	bs.Lea(m68k.Abs(pool), 2)
+	bs.MoveL(m68k.Imm(nsock-1), m68k.D(5))
+	bs.Label("free")
+	bs.TstL(m68k.Ind(2))
+	bs.Beq("gotfree")
+	bs.Lea(m68k.Disp(soBytes, 2), 2)
+	bs.Dbra(5, "free")
+	bs.Bra("bad")
+	bs.Label("gotfree")
+	bs.Jsr(falloc)
+	bs.TstL(m68k.D(0))
+	bs.Bmi("bad")
+	bs.MoveL(m68k.Imm(ftSock), m68k.Ind(0))
+	bs.MoveL(m68k.A(2), m68k.Disp(fPtr, 0))
+	bs.Clr(4, m68k.Disp(fOff, 0))
+	bs.MoveL(m68k.Imm(1), m68k.Ind(2))
+	bs.MoveL(m68k.D(1), m68k.Disp(soLocal, 2))
+	bs.MoveL(m68k.D(2), m68k.Disp(soRemote, 2))
+	bs.Clr(4, m68k.Disp(soHead, 2))
+	bs.Clr(4, m68k.Disp(soTail, 2))
+	bs.Clr(4, m68k.Disp(soLock, 2))
+	bs.Rts()
+	bs.Label("bad")
+	bs.MoveL(m68k.Imm(-1), m68k.D(0))
+	bs.Rts()
+	syssock := bs.Link(m)
+
+	// sosend: f_ops target. A0 = file slot, D2 = user buffer, D3 =
+	// length -> D0 = payload bytes sent.
+	bw := asmkit.New()
+	bw.MoveL(m68k.Disp(fPtr, 0), m68k.A(2)) // sending socket
+	// Per-call length validation against the MTU.
+	bw.CmpL(m68k.Imm(synnet.MTU), m68k.D(3))
+	bw.Bls("fits")
+	bw.MoveL(m68k.Imm(synnet.MTU), m68k.D(3))
+	bw.Label("fits")
+	// splnet around the demux and queue manipulation.
+	bw.MoveFromSR(m68k.PreDec(7))
+	bw.OrSR(0x0700)
+	// sofind: demultiplex by scanning the socket table for the peer
+	// port, read from memory on every call.
+	bw.MoveL(m68k.Disp(soRemote, 2), m68k.D(4))
+	bw.Lea(m68k.Abs(pool), 3)
+	bw.MoveL(m68k.Imm(nsock-1), m68k.D(5))
+	bw.Label("find")
+	bw.TstL(m68k.Ind(3))
+	bw.Beq("fnext")
+	bw.Cmp(4, m68k.Disp(soLocal, 3), m68k.D(4))
+	bw.Beq("found")
+	bw.Label("fnext")
+	bw.Lea(m68k.Disp(soBytes, 3), 3)
+	bw.Dbra(5, "find")
+	// Nobody listens: the datagram evaporates (UDP semantics).
+	bw.MoveToSR(m68k.PostInc(7))
+	bw.MoveL(m68k.D(3), m68k.D(0))
+	bw.Rts()
+	bw.Label("found")
+	bw.MoveL(m68k.A(3), m68k.A(4)) // destination socket (bcopy clobbers A3)
+	// sblock: the destination ring's sleep lock.
+	bw.Label("lock")
+	bw.Tas(m68k.Disp(soLock, 4))
+	bw.Bmi("lock")
+	// Ring full? Drop (short send).
+	bw.MoveL(m68k.Disp(soHead, 4), m68k.D(0))
+	bw.SubL(m68k.Disp(soTail, 4), m68k.D(0))
+	bw.CmpL(m68k.Imm(sSlotCount), m68k.D(0))
+	bw.Bcc("full")
+	// Destination slot.
+	bw.MoveL(m68k.Disp(soHead, 4), m68k.D(0))
+	bw.AndL(m68k.Imm(sSlotCount-1), m68k.D(0))
+	bw.LslL(m68k.Imm(8), m68k.D(0))
+	bw.Lea(m68k.Disp(soSlots, 4), 5)
+	bw.AddL(m68k.D(0), m68k.A(5))
+	// The header layer, then the byte-wise copy.
+	bw.Jsr(sohdr)
+	bw.MoveL(m68k.D(3), m68k.D(6))
+	bw.MoveL(m68k.D(2), m68k.A(1))
+	bw.Lea(m68k.Disp(sData, 5), 3)
+	bw.Jsr(bcopy)
+	// Publish under the lock, then unlock and wake readers.
+	bw.AddL(m68k.Imm(1), m68k.Disp(soHead, 4))
+	bw.Clr(1, m68k.Disp(soLock, 4))
+	bw.MoveToSR(m68k.PostInc(7))
+	bw.MoveL(m68k.A(4), m68k.A(2))
+	bw.Jsr(wakeup) // sorwakeup: the process-table scan
+	bw.MoveL(m68k.D(3), m68k.D(0))
+	bw.Rts()
+	bw.Label("full")
+	bw.Clr(1, m68k.Disp(soLock, 4))
+	bw.MoveToSR(m68k.PostInc(7))
+	bw.Clr(4, m68k.D(0))
+	bw.Rts()
+	sosend := bw.Link(m)
+
+	// soreceive: A0 = file slot, D2 = user buffer, D3 = length -> D0
+	// = payload bytes (0 when the ring is empty — the single-process
+	// baseline never blocks).
+	br := asmkit.New()
+	br.MoveL(m68k.Disp(fPtr, 0), m68k.A(2))
+	br.Label("lock")
+	br.Tas(m68k.Disp(soLock, 2))
+	br.Bmi("lock")
+	br.MoveFromSR(m68k.PreDec(7))
+	br.OrSR(0x0700)
+	br.MoveL(m68k.Disp(soTail, 2), m68k.D(0))
+	br.Cmp(4, m68k.Disp(soHead, 2), m68k.D(0))
+	br.Beq("empty")
+	br.AndL(m68k.Imm(sSlotCount-1), m68k.D(0))
+	br.LslL(m68k.Imm(8), m68k.D(0))
+	br.Lea(m68k.Disp(soSlots, 2), 5)
+	br.AddL(m68k.D(0), m68k.A(5))
+	// The per-packet validation layer.
+	br.Jsr(sohval)
+	br.TstL(m68k.D(0))
+	br.Beq("stale") // not ours: discard the slot
+	// chunk = min(payload length, caller's buffer).
+	br.MoveL(m68k.Ind(5), m68k.D(6))
+	br.Cmp(4, m68k.D(3), m68k.D(6))
+	br.Bls("c1")
+	br.MoveL(m68k.D(3), m68k.D(6))
+	br.Label("c1")
+	br.MoveL(m68k.D(6), m68k.D(7)) // bcopy clobbers D6
+	br.Lea(m68k.Disp(sData, 5), 1)
+	br.MoveL(m68k.D(2), m68k.A(3))
+	br.Jsr(bcopy)
+	br.AddL(m68k.Imm(1), m68k.Disp(soTail, 2))
+	br.Clr(1, m68k.Disp(soLock, 2))
+	br.MoveToSR(m68k.PostInc(7))
+	br.Jsr(wakeup) // sowwakeup
+	br.MoveL(m68k.D(7), m68k.D(0))
+	br.Rts()
+	br.Label("stale")
+	br.AddL(m68k.Imm(1), m68k.Disp(soTail, 2))
+	br.Label("empty")
+	br.Clr(1, m68k.Disp(soLock, 2))
+	br.MoveToSR(m68k.PostInc(7))
+	br.Clr(4, m68k.D(0))
+	br.Rts()
+	soreceive := br.Link(m)
+
+	return syssock, soreceive, sosend
+}

@@ -77,6 +77,7 @@ const (
 	ftPipeW
 	ftNull
 	ftTTY
+	ftSock
 )
 
 // inode layout.
@@ -154,6 +155,7 @@ type Kernel struct {
 	bread    uint32
 	uarea    uint32
 	rootDir  uint32
+	sockPool uint32 // static socket table (nsock entries)
 
 	files map[string]*File
 
@@ -269,6 +271,13 @@ func (k *Kernel) initStructures() {
 	devDir := k.mkdir(k.rootDir, "dev")
 	k.addEntry(devDir, "null", k.makeInode(4, 0, 0, 0))
 	k.addEntry(devDir, "tty", k.makeInode(5, 0, 0, 0))
+
+	// The static socket table (sockets are not heap objects here:
+	// the traditional kernel preallocates its tables).
+	k.sockPool = k.alloc(nsock * soBytes)
+	for i := uint32(0); i < nsock*soBytes; i += 4 {
+		m.Poke(k.sockPool+i, 4, 0)
+	}
 }
 
 // makeInode allocates and fills an inode.

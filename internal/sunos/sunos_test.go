@@ -331,3 +331,70 @@ func TestLseekRepositions(t *testing.T) {
 		t.Errorf("data %q, want 567", got)
 	}
 }
+
+func TestSocketLoopbackThroughLayers(t *testing.T) {
+	k := boot(t)
+	const res, wbuf, rbuf = 0x9000, 0x9300, 0x9700
+	k.M.PokeBytes(wbuf, []byte("datagram"))
+	b := asmkit.New()
+	// socket(local=5, remote=9) -> fd 0
+	b.MoveL(m68k.Imm(5), m68k.D(1))
+	b.MoveL(m68k.Imm(9), m68k.D(2))
+	call(b, 97)
+	b.MoveL(m68k.D(0), m68k.Abs(res))
+	// socket(local=9, remote=5) -> fd 1
+	b.MoveL(m68k.Imm(9), m68k.D(1))
+	b.MoveL(m68k.Imm(5), m68k.D(2))
+	call(b, 97)
+	b.MoveL(m68k.D(0), m68k.Abs(res+4))
+	// Duplicate local port must fail.
+	b.MoveL(m68k.Imm(5), m68k.D(1))
+	b.MoveL(m68k.Imm(33), m68k.D(2))
+	call(b, 97)
+	b.MoveL(m68k.D(0), m68k.Abs(res+8))
+	// write(fd 0): the frame lands in socket 9's ring.
+	b.MoveL(m68k.Imm(0), m68k.D(1))
+	b.MoveL(m68k.Imm(wbuf), m68k.D(2))
+	b.MoveL(m68k.Imm(8), m68k.D(3))
+	call(b, 4)
+	b.MoveL(m68k.D(0), m68k.Abs(res+12))
+	// read(fd 1): the payload comes back out.
+	b.MoveL(m68k.Imm(1), m68k.D(1))
+	b.MoveL(m68k.Imm(rbuf), m68k.D(2))
+	b.MoveL(m68k.Imm(64), m68k.D(3))
+	call(b, 3)
+	b.MoveL(m68k.D(0), m68k.Abs(res+16))
+	// read again (arguments reloaded: the syscall may clobber D1, as
+	// pipe's two-result convention allows): empty ring returns 0.
+	b.MoveL(m68k.Imm(1), m68k.D(1))
+	b.MoveL(m68k.Imm(rbuf), m68k.D(2))
+	b.MoveL(m68k.Imm(64), m68k.D(3))
+	call(b, 3)
+	b.MoveL(m68k.D(0), m68k.Abs(res+20))
+	exit(b)
+	entry := b.Link(k.M)
+	if err := k.Run(entry, 5_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := int32(k.M.Peek(res, 4)); got != 0 {
+		t.Fatalf("first socket fd = %d, want 0", got)
+	}
+	if got := int32(k.M.Peek(res+4, 4)); got != 1 {
+		t.Fatalf("second socket fd = %d, want 1", got)
+	}
+	if got := int32(k.M.Peek(res+8, 4)); got != -1 {
+		t.Errorf("duplicate port = %d, want -1", got)
+	}
+	if got := k.M.Peek(res+12, 4); got != 8 {
+		t.Errorf("send = %d, want 8", got)
+	}
+	if got := k.M.Peek(res+16, 4); got != 8 {
+		t.Errorf("recv = %d, want 8", got)
+	}
+	if got := string(k.M.PeekBytes(rbuf, 8)); got != "datagram" {
+		t.Errorf("payload %q, want \"datagram\"", got)
+	}
+	if got := k.M.Peek(res+20, 4); got != 0 {
+		t.Errorf("recv on empty ring = %d, want 0", got)
+	}
+}

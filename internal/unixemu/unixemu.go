@@ -24,8 +24,9 @@ const (
 	SysWrite = 4
 	SysOpen  = 5
 	SysClose = 6
-	SysLseek = 19
-	SysPipe  = 42
+	SysLseek  = 19
+	SysPipe   = 42
+	SysSocket = 97 // 4.2BSD socket: D1 = local port, D2 = remote port
 )
 
 // UNIX trap convention: trap #0 with the syscall number in D0 and
@@ -98,6 +99,12 @@ func Install(k *kernel.Kernel) uint32 {
 		e.MoveL(m68k.Imm(kernel.SysSeek), m68k.D(0))
 		e.Jmp(k.DispatchRoutine())
 		e.Label("notseek")
+
+		e.CmpL(m68k.Imm(SysSocket), m68k.D(0))
+		e.Bne("notsock")
+		e.MoveL(m68k.Imm(kernel.SysSock), m68k.D(0))
+		e.Jmp(k.DispatchRoutine())
+		e.Label("notsock")
 
 		// Unknown syscall: error return.
 		e.MoveL(m68k.Imm(-1), m68k.D(0))

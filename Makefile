@@ -1,10 +1,13 @@
 # Tier-1 gate and the concurrency-heavy race pass. `make tier1` is
-# what CI runs; `make race` exercises the Go-plane optimistic queues
-# and the network packet ring under the race detector.
+# what CI runs; `make race` exercises the Go-plane optimistic queues,
+# the network packet ring, and the measurement plane under the race
+# detector. `make profile` runs one Table 1 program under the profiler
+# and emits a Chrome trace (load trace.json in about:tracing or
+# ui.perfetto.dev).
 
 GO ?= go
 
-.PHONY: tier1 race bench tables
+.PHONY: tier1 race bench tables profile
 
 tier1:
 	$(GO) build ./...
@@ -12,10 +15,13 @@ tier1:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/queue/... ./internal/net/...
+	$(GO) test -race ./internal/queue/... ./internal/net/... ./internal/prof/...
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
 
 tables:
 	$(GO) run ./cmd/synbench
+
+profile:
+	$(GO) run ./cmd/synbench -profile-run "open-close tty" -top 15 -trace-json trace.json

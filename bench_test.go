@@ -19,10 +19,12 @@ import (
 	"synthesis/internal/synth"
 )
 
-// reportRows runs a table once and reports every row as a metric.
-func reportRows(b *testing.B, run func() (bench.Table, error)) {
+// reportTable regenerates one registered table and reports every row
+// as a metric. All table benchmarks dispatch through the bench
+// registry, the same path synbench and quamon use.
+func reportTable(b *testing.B, name string, cfg bench.RunConfig) {
 	b.Helper()
-	t, err := run()
+	t, err := bench.Run(name, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -56,34 +58,32 @@ func BenchmarkTable1_UnixPrograms(b *testing.B) {
 	if testing.Short() {
 		iters = 20
 	}
-	reportRows(b, func() (bench.Table, error) {
-		return bench.Table1(bench.Table1Config{Iters: iters})
-	})
+	reportTable(b, "1", bench.RunConfig{Iters: iters})
 }
 
 // Table 2: file and device I/O.
-func BenchmarkTable2_FileDeviceIO(b *testing.B) { reportRows(b, bench.Table2) }
+func BenchmarkTable2_FileDeviceIO(b *testing.B) { reportTable(b, "2", bench.RunConfig{}) }
 
 // Table 3: thread operations.
-func BenchmarkTable3_ThreadOps(b *testing.B) { reportRows(b, bench.Table3) }
+func BenchmarkTable3_ThreadOps(b *testing.B) { reportTable(b, "3", bench.RunConfig{}) }
 
 // Table 4: dispatcher and scheduler.
-func BenchmarkTable4_Dispatcher(b *testing.B) { reportRows(b, bench.Table4) }
+func BenchmarkTable4_Dispatcher(b *testing.B) { reportTable(b, "4", bench.RunConfig{}) }
 
 // Table 5: interrupt handling.
-func BenchmarkTable5_Interrupts(b *testing.B) { reportRows(b, bench.Table5) }
+func BenchmarkTable5_Interrupts(b *testing.B) { reportTable(b, "5", bench.RunConfig{}) }
 
 // Table 6: network loopback sockets, synthesized vs generic layers.
-func BenchmarkTable6_Network(b *testing.B) { reportRows(b, bench.Table6) }
+func BenchmarkTable6_Network(b *testing.B) { reportTable(b, "6", bench.RunConfig{}) }
 
 // Figure 2's path-length claim on the simulated machine.
-func BenchmarkFigure2_PathLengths(b *testing.B) { reportRows(b, bench.PathLengths) }
+func BenchmarkFigure2_PathLengths(b *testing.B) { reportTable(b, "pathlen", bench.RunConfig{}) }
 
 // Section 6.4: kernel size accounting.
-func BenchmarkSection64_KernelSize(b *testing.B) { reportRows(b, bench.SizeTable) }
+func BenchmarkSection64_KernelSize(b *testing.B) { reportTable(b, "size", bench.RunConfig{}) }
 
 // Ablations of the design choices DESIGN.md calls out.
-func BenchmarkAblations(b *testing.B) { reportRows(b, bench.Ablations) }
+func BenchmarkAblations(b *testing.B) { reportTable(b, "ablations", bench.RunConfig{}) }
 
 // ---------------------------------------------------------------------
 // Figure 1: the SP-SC optimistic queue, Go plane (wall clock).

@@ -2,20 +2,29 @@
 // include an instruction counter, a memory reference counter, hardware
 // program tracing"): it boots a Synthesis kernel, runs a small
 // demonstration workload, and dumps the execution trace, the
-// per-quaject disassembly, and the machine counters.
+// per-quaject disassembly, and the machine counters. With -profile it
+// attaches the measurement plane and reports which named quaject
+// regions the cycles went to, with optional Chrome trace export. With
+// -table it regenerates a bench table through the shared registry.
 //
 // Usage:
 //
-//	quamon                 # run the demo workload with tracing
-//	quamon -disasm         # also disassemble the synthesized quajects
-//	quamon -trace 64       # show the last N trace entries
+//	quamon                      # run the demo workload with tracing
+//	quamon -disasm              # also disassemble the synthesized quajects
+//	quamon -trace 64            # show the last N trace entries
+//	quamon -profile -top 12     # per-region cycle attribution
+//	quamon -profile -trace-json trace.json
+//	quamon -table 2             # regenerate one bench table
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"sort"
+	"strings"
 
+	"synthesis/internal/bench"
 	"synthesis/internal/kernel"
 	"synthesis/internal/kio"
 	"synthesis/internal/m68k"
@@ -26,11 +35,31 @@ import (
 func main() {
 	disasm := flag.Bool("disasm", false, "disassemble the synthesized quajects")
 	traceN := flag.Int("trace", 48, "trace entries to display")
+	profile := flag.Bool("profile", false, "attach the measurement plane and report cycle attribution")
+	top := flag.Int("top", 10, "regions to show in the -profile report")
+	traceJSON := flag.String("trace-json", "", "write the profile's Chrome trace (about:tracing JSON) here")
+	table := flag.String("table", "",
+		"regenerate a bench table instead of the demo: one of "+strings.Join(bench.Names(), ","))
+	iters := flag.Int("iters", 200, "loop count for -table 1")
 	flag.Parse()
+
+	if *table != "" {
+		t, err := bench.Run(*table, bench.RunConfig{Iters: int32(*iters), Profile: *profile})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quamon: table %s: %v\n", *table, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.String())
+		return
+	}
 
 	cfg := m68k.Sun3Config()
 	cfg.TraceDepth = 4096
-	k := kernel.Boot(kernel.Config{Machine: cfg, ChargeSynthesis: true})
+	k := kernel.Boot(kernel.Config{
+		Machine:         cfg,
+		ChargeSynthesis: true,
+		Profile:         *profile || *traceJSON != "",
+	})
 	io := kio.Install(k)
 	unixemu.Install(k)
 	_ = io
@@ -76,6 +105,23 @@ func main() {
 	fmt.Printf("tty output: %q\n\n", string(k.TTY.Output()))
 	fmt.Printf("machine counters: %d instructions, %d memory references, %d cycles (%.1f usec simulated)\n\n",
 		k.M.Instrs, k.M.MemRefs, k.M.Cycles, k.M.Now())
+
+	if k.Prof != nil {
+		fmt.Printf("top regions by cycles:\n%s\n", k.Prof.Report(*top))
+		if *traceJSON != "" {
+			f, err := os.Create(*traceJSON)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "quamon: %v\n", err)
+				os.Exit(1)
+			}
+			if err := k.Prof.WriteChromeTrace(f); err != nil {
+				fmt.Fprintf(os.Stderr, "quamon: trace export: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("trace written to %s (load in about:tracing or ui.perfetto.dev)\n\n", *traceJSON)
+		}
+	}
 
 	fmt.Printf("execution trace (last %d entries):\n", *traceN)
 	entries := k.M.Trace.Entries()

@@ -5,57 +5,84 @@
 // extends the evaluation to the network subsystem: loopback sockets,
 // synthesized vs generic layered paths.
 //
+// Tables come from the bench registry, so a newly registered table is
+// runnable here without touching this command.
+//
 // Usage:
 //
-//	synbench                 # everything
-//	synbench -table 1        # one table (1..6, pathlen, size, ablations)
-//	synbench -iters 500      # heavier Table 1 loops
+//	synbench                          # everything
+//	synbench -table 1                 # one table (see -table help for names)
+//	synbench -iters 500               # heavier Table 1 loops
+//	synbench -table 1 -profile        # Table 1 with attribution coverage row
+//	synbench -profile-run "open-close tty" -top 15 -trace-json trace.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"synthesis/internal/bench"
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1,2,3,4,5,6,pathlen,size,ablations,all")
+	table := flag.String("table", "all",
+		"which table to regenerate: all or one of "+strings.Join(bench.Names(), ","))
 	iters := flag.Int("iters", 200, "loop count for the Table 1 programs")
+	profile := flag.Bool("profile", false, "attach the profiler to Table 1 runs (adds a coverage row)")
+	profileRun := flag.String("profile-run", "",
+		"run one Table 1 program profiled and report attribution: one of "+
+			strings.Join(bench.Table1ProgramNames(), ", "))
+	top := flag.Int("top", 10, "regions to show in the -profile-run report")
+	traceJSON := flag.String("trace-json", "", "write the -profile-run Chrome trace (about:tracing JSON) here")
 	flag.Parse()
 
-	type job struct {
-		name string
-		run  func() (bench.Table, error)
-	}
-	jobs := []job{
-		{"1", func() (bench.Table, error) { return bench.Table1(bench.Table1Config{Iters: int32(*iters)}) }},
-		{"2", bench.Table2},
-		{"3", bench.Table3},
-		{"4", bench.Table4},
-		{"5", bench.Table5},
-		{"6", bench.Table6},
-		{"pathlen", bench.PathLengths},
-		{"size", bench.SizeTable},
-		{"ablations", bench.Ablations},
+	if *profileRun != "" {
+		p, err := bench.RunProfiled(*profileRun, int32(*iters))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "synbench: profile-run: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("profile: %s (%d iterations)\n", *profileRun, *iters)
+		fmt.Print(p.Report(*top))
+		if *traceJSON != "" {
+			f, err := os.Create(*traceJSON)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "synbench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := p.WriteChromeTrace(f); err != nil {
+				fmt.Fprintf(os.Stderr, "synbench: trace export: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("trace written to %s (load in about:tracing or ui.perfetto.dev)\n", *traceJSON)
+		}
+		return
 	}
 
-	ran := false
-	for _, j := range jobs {
-		if *table != "all" && *table != j.name {
-			continue
+	cfg := bench.RunConfig{Iters: int32(*iters), Profile: *profile}
+	names := bench.Names()
+	if *table != "all" {
+		found := false
+		for _, n := range names {
+			if n == *table {
+				found = true
+			}
 		}
-		ran = true
-		t, err := j.run()
+		if !found {
+			fmt.Fprintf(os.Stderr, "synbench: unknown table %q\n", *table)
+			os.Exit(2)
+		}
+		names = []string{*table}
+	}
+	for _, name := range names {
+		t, err := bench.Run(name, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "synbench: table %s: %v\n", j.name, err)
+			fmt.Fprintf(os.Stderr, "synbench: table %s: %v\n", name, err)
 			os.Exit(1)
 		}
 		fmt.Println(t.String())
-	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "synbench: unknown table %q\n", *table)
-		os.Exit(2)
 	}
 }

@@ -246,3 +246,5 @@ func synthFig2PutBatch(c *synth.Creator, g queueGeom, h int32) uint32 {
 		e.Rts()
 	})
 }
+
+func init() { Register("pathlen", fixed(PathLengths)) }

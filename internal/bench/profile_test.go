@@ -1,0 +1,59 @@
+package bench
+
+import "testing"
+
+// TestTable1AttributionCoverage is the acceptance check for the
+// measurement plane: across a full Table 1 program sweep on the
+// profiled Synthesis rig, at least 95% of all machine cycles must be
+// attributed to named regions (quaject routines, the benchmark
+// binary, idle, synthesis) rather than falling out as unattributed.
+func TestTable1AttributionCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table 1 sweep under -short")
+	}
+	iters := int32(40)
+	var sumAttr, sumWindow uint64
+	for _, name := range Table1ProgramNames() {
+		p, err := RunProfiled(name, iters)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cov := p.Coverage()
+		t.Logf("%-16s coverage %.3f (%d of %d cycles)", name, cov, p.Attributed(), p.Window())
+		if cov < 0.95 {
+			t.Errorf("%s: coverage %.3f < 0.95; top:\n%s", name, cov, p.Report(12))
+		}
+		sumAttr += p.Attributed()
+		sumWindow += p.Window()
+	}
+	total := float64(sumAttr) / float64(sumWindow)
+	t.Logf("aggregate coverage %.3f", total)
+	if total < 0.95 {
+		t.Errorf("aggregate coverage %.3f < 0.95", total)
+	}
+}
+
+// TestRunProfiledUnknown rejects unknown program names.
+func TestRunProfiledUnknown(t *testing.T) {
+	if _, err := RunProfiled("no-such-program", 1); err == nil {
+		t.Fatal("expected error for unknown program")
+	}
+}
+
+// TestRegistry covers the registry contract all three front ends
+// (synbench, quamon, the benchmark suite) rely on.
+func TestRegistry(t *testing.T) {
+	names := Names()
+	want := []string{"1", "2", "3", "4", "5", "6", "ablations", "pathlen", "size"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v (numeric first, then alphabetical)", names, want)
+		}
+	}
+	if _, err := Run("no-such-table", RunConfig{}); err == nil {
+		t.Fatal("expected error for unknown table")
+	}
+}

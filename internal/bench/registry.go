@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Table registry: every table file registers its generator in an
+// init(), and synbench, quamon and the root benchmark suite all
+// dispatch through Names/Run. Adding a table means adding one file
+// with one Register call — no command edits.
+
+// RunConfig carries the knobs a caller can set uniformly across
+// tables. Tables without an iteration knob ignore Iters; tables
+// without profiling support ignore Profile.
+type RunConfig struct {
+	Iters   int32
+	Profile bool
+}
+
+// TableFunc generates one table.
+type TableFunc func(RunConfig) (Table, error)
+
+var registry = map[string]TableFunc{}
+
+// Register adds a table generator under a name ("1".."6", "pathlen",
+// ...). Duplicate names are a programming error.
+func Register(name string, fn TableFunc) {
+	if _, dup := registry[name]; dup {
+		panic("bench: duplicate table registration: " + name)
+	}
+	registry[name] = fn
+}
+
+// fixed adapts a parameterless generator to the registry signature.
+func fixed(fn func() (Table, error)) TableFunc {
+	return func(RunConfig) (Table, error) { return fn() }
+}
+
+// Names returns the registered table names, numbered tables first in
+// numeric order, then the rest alphabetically.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		vi, errI := strconv.Atoi(names[i])
+		vj, errJ := strconv.Atoi(names[j])
+		switch {
+		case errI == nil && errJ == nil:
+			return vi < vj
+		case errI == nil:
+			return true
+		case errJ == nil:
+			return false
+		default:
+			return names[i] < names[j]
+		}
+	})
+	return names
+}
+
+// Run generates the named table.
+func Run(name string, cfg RunConfig) (Table, error) {
+	fn, ok := registry[name]
+	if !ok {
+		return Table{}, fmt.Errorf("bench: unknown table %q (have %v)", name, Names())
+	}
+	return fn(cfg)
+}

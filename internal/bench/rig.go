@@ -7,6 +7,7 @@ import (
 	"synthesis/internal/kernel"
 	"synthesis/internal/kio"
 	"synthesis/internal/m68k"
+	"synthesis/internal/prof"
 	"synthesis/internal/sunos"
 	"synthesis/internal/unixemu"
 )
@@ -63,12 +64,19 @@ type SynthRig struct {
 
 // NewSynthRig boots Synthesis at the SUN 3/160 point with synthesis
 // time charged.
-func NewSynthRig() *SynthRig {
+func NewSynthRig() *SynthRig { return newSynthRig(false) }
+
+// NewProfiledSynthRig is NewSynthRig with the measurement plane
+// attached from boot, so every synthesized routine is attributable.
+func NewProfiledSynthRig() *SynthRig { return newSynthRig(true) }
+
+func newSynthRig(profile bool) *SynthRig {
 	cfg := m68k.Sun3Config()
 	cfg.TraceDepth = 128
 	k := kernel.Boot(kernel.Config{
 		Machine:         cfg,
 		ChargeSynthesis: true,
+		Profile:         profile,
 	})
 	io := kio.Install(k)
 	unixemu.Install(k)
@@ -134,6 +142,12 @@ func runMarked(r Rig, budget uint64, build func(b *asmkit.Builder)) (float64, er
 	b := asmkit.New()
 	build(b)
 	entry := b.Link(r.Machine())
+	if p := prof.Of(r.Machine()); p != nil {
+		// The benchmark binary is raw asmkit, not quaject code, so it
+		// registers itself: its loop cycles must not read as kernel
+		// time.
+		p.RegisterRegion("bench.program", entry, b.Len())
+	}
 	if err := r.Run(entry, budget); err != nil {
 		return 0, fmt.Errorf("%s: %w", r.Name(), err)
 	}

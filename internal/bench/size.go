@@ -85,3 +85,5 @@ func SizeTable() (Table, error) {
 	}
 	return t, nil
 }
+
+func init() { Register("size", fixed(SizeTable)) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"synthesis/internal/asmkit"
+	"synthesis/internal/prof"
 )
 
 // Table 1: the seven UNIX programs on SUNOS (traditional baseline)
@@ -19,9 +20,20 @@ import (
 // few hundred times slower than silicon); per-iteration cost is flat
 // in the loop count, which the harness asserts in its tests.
 
-// Table1Iters controls the loop counts (reduced under -short).
+// Table1Config controls the loop counts (reduced under -short) and
+// whether the Synthesis-side runs carry the measurement plane.
 type Table1Config struct {
 	Iters int32
+	// Profile attaches the profiler to every Synthesis rig and
+	// appends an attribution-coverage row (the acceptance bar is that
+	// at least 95% of all cycles land in named regions).
+	Profile bool
+}
+
+func init() {
+	Register("1", func(cfg RunConfig) (Table, error) {
+		return Table1(Table1Config{Iters: cfg.Iters, Profile: cfg.Profile})
+	})
 }
 
 // paperRatios are SUN time / Synthesis time from Table 1 (total
@@ -38,17 +50,46 @@ var paperRatios = map[string]float64{
 }
 
 // runOnBoth runs a program builder on fresh instances of both rigs
-// and returns per-iteration microseconds.
-func runOnBoth(build func(*asmkit.Builder), iters int32, budget uint64) (synthUS, sunUS float64, err error) {
-	s, errS := runMarked(NewSynthRig(), budget, build)
+// and returns per-iteration microseconds. With profile set, the
+// Synthesis rig carries the profiler, which is returned for coverage
+// accounting (nil otherwise: the baseline rig runs raw code with no
+// regions to attribute to).
+func runOnBoth(build func(*asmkit.Builder), iters int32, budget uint64, profile bool) (synthUS, sunUS float64, p *prof.Profiler, err error) {
+	rig := NewSynthRig()
+	if profile {
+		rig = NewProfiledSynthRig()
+	}
+	s, errS := runMarked(rig, budget, build)
 	if errS != nil {
-		return 0, 0, errS
+		return 0, 0, nil, errS
 	}
 	u, errU := runMarked(NewSunRig(), budget, build)
 	if errU != nil {
-		return 0, 0, errU
+		return 0, 0, nil, errU
 	}
-	return s / float64(iters), u / float64(iters), nil
+	return s / float64(iters), u / float64(iters), rig.K.Prof, nil
+}
+
+// t1prog is one Table 1 benchmark program.
+type t1prog struct {
+	name   string
+	iters  int32
+	budget uint64
+	build  func(*asmkit.Builder)
+}
+
+// table1Programs returns the seven Table 1 programs; the profiling
+// entry points (RunProfiled) share this list with Table1 itself.
+func table1Programs(iters int32) []t1prog {
+	return []t1prog{
+		{"compute", 2000, 3_000_000_000, func(b *asmkit.Builder) { BuildCompute(b, 2000) }},
+		{"pipe r/w 1 B", iters, 3_000_000_000, func(b *asmkit.Builder) { BuildPipeRW(b, iters, 1) }},
+		{"pipe r/w 1 KB", iters, 6_000_000_000, func(b *asmkit.Builder) { BuildPipeRW(b, iters, 1024) }},
+		{"pipe r/w 4 KB", iters, 20_000_000_000, func(b *asmkit.Builder) { BuildPipeRW(b, iters, 4096) }},
+		{"file r/w 1 KB", iters, 8_000_000_000, func(b *asmkit.Builder) { BuildFileRW(b, iters) }},
+		{"open-close null", iters, 4_000_000_000, func(b *asmkit.Builder) { BuildOpenClose(b, iters, addrNameNull) }},
+		{"open-close tty", iters, 4_000_000_000, func(b *asmkit.Builder) { BuildOpenClose(b, iters, addrNameTTY) }},
+	}
 }
 
 // Table1 regenerates the measured-UNIX-system-calls comparison.
@@ -63,24 +104,9 @@ func Table1(cfg Table1Config) (Table, error) {
 			"paper's speedup ratio (SUN seconds / Synthesis seconds), ours alongside",
 	}
 
-	type prog struct {
-		name   string
-		iters  int32
-		budget uint64
-		build  func(*asmkit.Builder)
-	}
-	progs := []prog{
-		{"compute", 2000, 3_000_000_000, func(b *asmkit.Builder) { BuildCompute(b, 2000) }},
-		{"pipe r/w 1 B", iters, 3_000_000_000, func(b *asmkit.Builder) { BuildPipeRW(b, iters, 1) }},
-		{"pipe r/w 1 KB", iters, 6_000_000_000, func(b *asmkit.Builder) { BuildPipeRW(b, iters, 1024) }},
-		{"pipe r/w 4 KB", iters, 20_000_000_000, func(b *asmkit.Builder) { BuildPipeRW(b, iters, 4096) }},
-		{"file r/w 1 KB", iters, 8_000_000_000, func(b *asmkit.Builder) { BuildFileRW(b, iters) }},
-		{"open-close null", iters, 4_000_000_000, func(b *asmkit.Builder) { BuildOpenClose(b, iters, addrNameNull) }},
-		{"open-close tty", iters, 4_000_000_000, func(b *asmkit.Builder) { BuildOpenClose(b, iters, addrNameTTY) }},
-	}
-
-	for _, p := range progs {
-		synthUS, sunUS, err := runOnBoth(p.build, p.iters, p.budget)
+	var sumAttr, sumWindow uint64
+	for _, p := range table1Programs(iters) {
+		synthUS, sunUS, pp, err := runOnBoth(p.build, p.iters, p.budget, cfg.Profile)
 		if err != nil {
 			return t, fmt.Errorf("%s: %w", p.name, err)
 		}
@@ -94,6 +120,18 @@ func Table1(cfg Table1Config) (Table, error) {
 				Note: fmt.Sprintf("synthesis %.1f us/it, sunos %.1f us/it",
 					synthUS, sunUS),
 			})
+		if pp != nil {
+			sumAttr += pp.Attributed()
+			sumWindow += pp.Window()
+		}
+	}
+	if cfg.Profile && sumWindow > 0 {
+		t.Rows = append(t.Rows, Row{
+			Name:     "profiler coverage (synthesis rig)",
+			Measured: 100 * float64(sumAttr) / float64(sumWindow),
+			Unit:     "%",
+			Note:     "cycles attributed to named regions across all seven programs",
+		})
 	}
 	return t, nil
 }

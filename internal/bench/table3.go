@@ -100,3 +100,5 @@ func Table3() (Table, error) {
 	}
 	return t, nil
 }
+
+func init() { Register("3", fixed(Table3)) }

@@ -172,3 +172,5 @@ func blockUnblock() (blockUS, unblockUS float64, err error) {
 	}
 	return d[0], d[1], nil
 }
+
+func init() { Register("4", fixed(Table4)) }

@@ -132,3 +132,5 @@ func Table5() (Table, error) {
 	}
 	return t, nil
 }
+
+func init() { Register("5", fixed(Table5)) }

@@ -234,3 +234,5 @@ func Table6() (Table, error) {
 	)
 	return t, nil
 }
+
+func init() { Register("6", fixed(Table6)) }

@@ -7,6 +7,7 @@ import (
 	"synthesis/internal/alloc"
 	"synthesis/internal/fs"
 	"synthesis/internal/m68k"
+	"synthesis/internal/prof"
 	"synthesis/internal/synth"
 )
 
@@ -16,6 +17,10 @@ type Kernel struct {
 	C    *synth.Creator
 	Heap *alloc.Heap
 	FS   *fs.FS
+
+	// Prof is the attached measurement plane (nil unless
+	// Config.Profile was set).
+	Prof *prof.Profiler
 
 	Timer *m68k.Timer
 	TTY   *m68k.TTY
@@ -105,6 +110,11 @@ type Config struct {
 	ChargeSynthesis bool
 	// DiskBlocks sizes the disk (default 512 blocks).
 	DiskBlocks int
+	// Profile attaches the measurement plane before any code is
+	// synthesized, so every routine from boot onward is attributed.
+	Profile bool
+	// ProfileRing bounds the trace-event ring (0 = default depth).
+	ProfileRing int
 }
 
 // Boot creates a machine, devices, heap and file system, synthesizes
@@ -122,6 +132,10 @@ func Boot(cfg Config) *Kernel {
 		M:       m,
 		C:       synth.NewCreator(m),
 		Threads: make(map[uint32]*Thread),
+	}
+	if cfg.Profile {
+		k.Prof = prof.Enable(m, cfg.ProfileRing)
+		k.C.Regions = k.Prof
 	}
 	k.Heap = alloc.New(HeapBase, cfg.Machine.MemSize-HeapBase)
 	k.Timer = m68k.NewTimer(m)

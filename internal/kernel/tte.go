@@ -106,7 +106,7 @@ func (k *Kernel) synthesizeSwitch(t *Thread, withFP bool) {
 
 	// sw_out at CodeBase.
 	swout := t.CodeBase
-	k.C.SynthesizeAt(t.Q, "sw_out", swout, 16, nil, func(e *synth.Emitter) {
+	k.C.Build(t.Q, "sw_out").At(swout, 16).Emit(func(e *synth.Emitter) {
 		// The whole switch runs with interrupts masked: a quantum
 		// interrupt landing mid-switch would re-enter sw_out and
 		// overwrite the register save area with transient state. The
@@ -130,7 +130,7 @@ func (k *Kernel) synthesizeSwitch(t *Thread, withFP bool) {
 	// sw_in.mmu then sw_in, contiguous: the mmu entry performs the
 	// quaspace change and falls through.
 	swinMMU := t.CodeBase + 16
-	k.C.SynthesizeAt(t.Q, "sw_in", swinMMU, perThreadCodeSlots-16, nil, func(e *synth.Emitter) {
+	k.C.Build(t.Q, "sw_in").At(swinMMU, perThreadCodeSlots-16).Emit(func(e *synth.Emitter) {
 		e.MovecTo(m68k.CtrlUBase, m68k.Abs(tte+TTEUBase))
 		e.MovecTo(m68k.CtrlULimit, m68k.Abs(tte+TTEULimit))
 		e.Label("swin")

@@ -1,6 +1,8 @@
 package kio
 
 import (
+	"fmt"
+
 	"synthesis/internal/kernel"
 	"synthesis/internal/m68k"
 	synnet "synthesis/internal/net"
@@ -106,7 +108,7 @@ func (io *IO) resynthNetHandler() {
 	rxTail := m68k.NetBase + m68k.NetRegRxTail
 	socks := append([]*NSocket(nil), io.socks...)
 
-	io.netIntH = k.C.Synthesize(nil, "net_intr", nil, func(e *synth.Emitter) {
+	io.netIntH = k.C.Build(nil, "net_intr").Named("kio.net_intr").Emit(func(e *synth.Emitter) {
 		e.MoveL(m68k.D(0), m68k.PreDec(7))
 		e.MoveL(m68k.D(1), m68k.PreDec(7))
 		e.MoveL(m68k.D(2), m68k.PreDec(7))
@@ -283,14 +285,19 @@ func (io *IO) synthSockSend(t *kernel.Thread, fd int32, s *NSocket) uint32 {
 	g := kernel.FDCell(t.TTE, int(fd), kernel.FDGauge)
 	txAddr := m68k.NetBase + m68k.NetRegTxAddr
 	txLen := m68k.NetBase + m68k.NetRegTxLen
-	return io.K.C.Synthesize(t.Q, "sock_send", nil, func(e *synth.Emitter) {
+	return io.K.C.Build(t.Q, "sock_send").
+		Named(fmt.Sprintf("kio.sock%d.send", s.Local)).
+		Bind("remote", synth.ConstOf(s.Remote)).
+		Bind("local", synth.ConstOf(s.Local)).
+		Emit(func(e *synth.Emitter) {
 		e.CmpL(m68k.Imm(synnet.MTU), m68k.D(2))
 		e.Bls("ss_fit")
 		e.MoveL(m68k.Imm(synnet.MTU), m68k.D(2))
 		e.Label("ss_fit")
-		// The frame header, as two immediate stores.
-		e.MoveL(m68k.Imm(int32(s.Remote)), m68k.Abs(stage+0))
-		e.MoveL(m68k.Imm(int32(s.Local)), m68k.Abs(stage+4))
+		// The frame header, as two immediate stores: the peer ports
+		// are Env constants folded straight into the emitted code.
+		e.MoveL(e.HoleOperand("remote"), m68k.Abs(stage+0))
+		e.MoveL(e.HoleOperand("local"), m68k.Abs(stage+4))
 		e.MoveL(m68k.D(2), m68k.PreDec(7)) // payload length
 		e.MoveL(m68k.D(1), m68k.A(0))
 		e.Lea(m68k.Abs(stage+synnet.HeaderBytes), 1)
@@ -319,7 +326,9 @@ func (io *IO) synthSockSend(t *kernel.Thread, fd int32, s *NSocket) uint32 {
 func (io *IO) synthSockRecv(t *kernel.Thread, fd int32, s *NSocket) uint32 {
 	q := s.Queue
 	g := kernel.FDCell(t.TTE, int(fd), kernel.FDGauge)
-	return io.K.C.Synthesize(t.Q, "sock_recv", nil, func(e *synth.Emitter) {
+	return io.K.C.Build(t.Q, "sock_recv").
+		Named(fmt.Sprintf("kio.sock%d.recv", s.Local)).
+		Emit(func(e *synth.Emitter) {
 		e.Label("sr_wait")
 		e.OrSR(iplMaskBits)
 		e.MoveL(m68k.Abs(q+NQTail), m68k.D(0))

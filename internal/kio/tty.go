@@ -39,7 +39,7 @@ func (io *IO) installTTY() {
 	size := q.Size
 	echo := io.echo
 
-	io.ttyIntH = k.C.Synthesize(nil, "tty_intr", nil, func(e *synth.Emitter) {
+	io.ttyIntH = k.C.Build(nil, "tty_intr").Named("kio.tty_intr").Emit(func(e *synth.Emitter) {
 		e.MoveL(m68k.D(0), m68k.PreDec(7))
 		e.MoveL(m68k.D(1), m68k.PreDec(7))
 		e.MoveL(m68k.A(0), m68k.PreDec(7))

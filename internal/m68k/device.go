@@ -72,9 +72,9 @@ func (t *Timer) Size() uint32 { return 0x100 }
 func (t *Timer) Load(off uint32, sz uint8) uint32 {
 	switch off {
 	case TimerRegNowLo:
-		return uint32(t.m.Cycles)
+		return uint32(t.m.Clock())
 	case TimerRegNowHi:
-		return uint32(t.m.Cycles >> 32)
+		return uint32(t.m.Clock() >> 32)
 	case TimerRegAck:
 		c := t.cause
 		t.cause = 0
@@ -90,13 +90,13 @@ func (t *Timer) Store(off uint32, sz uint8, val uint32) {
 		if val == 0 {
 			t.quantumA = 0
 		} else {
-			t.quantumA = t.m.Cycles + uint64(val)
+			t.quantumA = t.m.Clock() + uint64(val)
 		}
 	case TimerRegAlarm:
 		if val == 0 {
 			t.alarmA = 0
 		} else {
-			t.alarmA = t.m.Cycles + uint64(val)
+			t.alarmA = t.m.Clock() + uint64(val)
 		}
 	}
 }
@@ -169,7 +169,7 @@ func (t *TTY) Base() uint32 { return TTYBase }
 func (t *TTY) Size() uint32 { return 0x100 }
 
 // InputNow queues an input character arriving immediately.
-func (t *TTY) InputNow(c byte) { t.InputAt(c, t.m.Cycles) }
+func (t *TTY) InputNow(c byte) { t.InputAt(c, t.m.Clock()) }
 
 // InputAt schedules an input character to arrive at the given
 // absolute cycle time.
@@ -196,7 +196,7 @@ func (t *TTY) Output() []byte { return t.out }
 func (t *TTY) Load(off uint32, sz uint8) uint32 {
 	switch off {
 	case TTYRegData:
-		if len(t.in) > 0 && t.inAt[0] <= t.m.Cycles {
+		if len(t.in) > 0 && t.inAt[0] <= t.m.Clock() {
 			c := t.in[0]
 			t.in = t.in[1:]
 			t.inAt = t.inAt[1:]
@@ -205,7 +205,7 @@ func (t *TTY) Load(off uint32, sz uint8) uint32 {
 		}
 		return 0
 	case TTYRegStatus:
-		if len(t.in) > 0 && t.inAt[0] <= t.m.Cycles {
+		if len(t.in) > 0 && t.inAt[0] <= t.m.Clock() {
 			return 1
 		}
 		return 0
@@ -312,7 +312,7 @@ func (d *Disk) Store(off uint32, sz uint8, val uint32) {
 		d.addr = val
 	case DiskRegCmd:
 		d.cmd = val
-		d.busyUntil = d.m.Cycles + d.LatencyCycles
+		d.busyUntil = d.m.Clock() + d.LatencyCycles
 	}
 }
 
@@ -395,7 +395,7 @@ func (a *AD) Store(off uint32, sz uint8, val uint32) {
 	if off == ADRegCtl {
 		if val != 0 && !a.running {
 			a.running = true
-			a.nextAt = a.m.Cycles + a.periodCycles()
+			a.nextAt = a.m.Clock() + a.periodCycles()
 		} else if val == 0 {
 			a.running = false
 		}

@@ -10,8 +10,23 @@ import (
 var ErrIdle = errors.New("m68k: stopped with no pending device events")
 
 // Step executes one instruction (or dispatches one interrupt, or
-// advances stopped time to the next device event).
+// advances stopped time to the next device event). With a probe
+// attached, each step's cycle and instruction delta is reported
+// against the PC the step began at; without one, the wrapper is a
+// single nil check.
 func (m *Machine) Step() error {
+	if m.Probe == nil {
+		return m.step()
+	}
+	pc, c0, i0, idle := m.PC, m.Cycles, m.Instrs, m.stopped
+	m.inStep = true
+	err := m.step()
+	m.inStep = false
+	m.Probe.StepDone(pc, m.Cycles-c0, m.Instrs-i0, idle)
+	return err
+}
+
+func (m *Machine) step() error {
 	if m.halted {
 		return ErrHalted
 	}

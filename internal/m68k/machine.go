@@ -68,6 +68,29 @@ func (b *BusFault) Error() string {
 // charge (a modeled cost for work not expressed as VM code).
 type Service func(m *Machine) uint64
 
+// Probe receives execution events for a measurement plane (the
+// Quamachine's Section 6.1 instrumentation: cycle attribution,
+// interrupt-latency tracing). A nil Probe — the default — disables
+// all event delivery; the only cost the feature adds to an unprobed
+// machine is one nil check per Step.
+type Probe interface {
+	// StepDone reports one completed Step: the PC the step started
+	// at, the cycles and instructions it consumed, and whether the
+	// CPU was stopped when the step began (stopped steps advance
+	// time to the next device event rather than executing code).
+	StepDone(pc uint32, cycles, instrs uint64, idle bool)
+	// ExceptionTaken reports entry into an exception handler: the
+	// vector, the interrupted PC, and the cycle of handler entry.
+	ExceptionTaken(vec int, pc uint32, at uint64)
+	// InterruptTaken reports a dispatched interrupt with the cycle
+	// the level was first asserted and the cycle the handler was
+	// entered (raise-to-entry latency is takenAt - raisedAt).
+	InterruptTaken(level, vec int, raisedAt, takenAt uint64)
+	// Charged reports modeled host-side cost added to the clock
+	// outside instruction execution (see Machine.Charge).
+	Charged(cycles uint64, what string)
+}
+
 // Device models a memory-mapped peripheral. Loads and stores in the
 // device's address window are routed to it; Tick lets the device act
 // on the advance of simulated time and request interrupts.
@@ -153,13 +176,19 @@ type Machine struct {
 	MemRefs uint64
 	Trace   *Trace
 
+	// Probe is the attached measurement plane, nil when profiling is
+	// off (see the Probe interface).
+	Probe Probe
+
 	// Interrupts and devices.
-	devices  []Device
-	devNext  []uint64 // per-device next event time (0 = none)
-	pendIRQ  uint8    // bitmask of pending interrupt levels
-	stopped  bool     // STOP executed; waiting for interrupt
-	halted   bool
-	services map[uint8]Service
+	devices     []Device
+	devNext     []uint64   // per-device next event time (0 = none)
+	pendIRQ     uint8      // bitmask of pending interrupt levels
+	irqRaisedAt [8]uint64  // cycle each pending level was first asserted
+	stopped     bool       // STOP executed; waiting for interrupt
+	halted      bool
+	inStep      bool       // executing inside Step (probe bookkeeping)
+	services    map[uint8]Service
 }
 
 // New creates a machine with the given configuration.
@@ -195,6 +224,26 @@ func (m *Machine) Micros(cycles uint64) float64 {
 
 // Now returns the current simulated time in microseconds.
 func (m *Machine) Now() float64 { return m.Micros(m.Cycles) }
+
+// Clock returns the current cycle count. Devices timestamp through
+// this single accessor rather than reading Cycles directly, so a
+// measurement or fault-injection layer has one place to interpose on
+// the device view of simulated time.
+func (m *Machine) Clock() uint64 { return m.Cycles }
+
+// Charge adds modeled host-side cost to the cycle clock. Host code
+// that consumes simulated time without executing VM instructions
+// (e.g. the synthesis cost model) must charge through here: when the
+// charge lands outside instruction execution an attached probe is
+// told what the cycles were for, so a profiler can attribute them
+// instead of losing them. Charges made from within a Service (inside
+// Step) are folded into that step's delta and need no separate event.
+func (m *Machine) Charge(cycles uint64, what string) {
+	m.Cycles += cycles
+	if m.Probe != nil && !m.inStep {
+		m.Probe.Charged(cycles, what)
+	}
+}
 
 // Supervisor reports whether the CPU is in supervisor state.
 func (m *Machine) Supervisor() bool { return m.SR&FlagS != 0 }
@@ -240,10 +289,17 @@ func (m *Machine) FindDevice(name string) Device {
 }
 
 // PostInterrupt asserts an interrupt at the given priority level
-// (1-7). Used by devices and by tests.
+// (1-7). Used by devices and by tests. The cycle of the first
+// assertion is kept per level (re-raising an already-pending level
+// does not move it) so interrupt latency is measured from the raise
+// the handler actually answers.
 func (m *Machine) PostInterrupt(level int) {
 	if level >= 1 && level <= 7 {
-		m.pendIRQ |= 1 << uint(level)
+		bit := uint8(1) << uint(level)
+		if m.pendIRQ&bit == 0 {
+			m.irqRaisedAt[level] = m.Cycles
+		}
+		m.pendIRQ |= bit
 	}
 }
 
@@ -454,6 +510,9 @@ func (m *Machine) Exception(v int) error {
 	if m.Trace != nil {
 		m.Trace.RecordException(v, m.PC)
 	}
+	if m.Probe != nil {
+		m.Probe.ExceptionTaken(v, m.PC, m.Cycles)
+	}
 	m.PC = handler
 	return nil
 }
@@ -502,9 +561,13 @@ func (m *Machine) takeInterrupt() (bool, error) {
 		return false, nil
 	}
 	m.pendIRQ &^= 1 << uint(l)
+	raisedAt := m.irqRaisedAt[l]
 	if err := m.Exception(VecAutovector + l); err != nil {
 		return false, err
 	}
 	m.SetIPL(l)
+	if m.Probe != nil {
+		m.Probe.InterruptTaken(l, VecAutovector+l, raisedAt, m.Cycles)
+	}
 	return true, nil
 }

@@ -134,7 +134,7 @@ func (n *Net) Deliver(frame []byte) {
 	n.m.PokeBytes(slot+4, frame)
 	n.rxHead++
 	if n.irqAt == 0 {
-		n.irqAt = n.m.Cycles + n.LatencyCycles
+		n.irqAt = n.m.Clock() + n.LatencyCycles
 		if n.irqAt == 0 {
 			n.irqAt = 1 // cycle 0 would read as "no interrupt pending"
 		}

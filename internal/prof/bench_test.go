@@ -1,0 +1,55 @@
+package prof_test
+
+import (
+	"testing"
+
+	"synthesis/internal/asmkit"
+	"synthesis/internal/m68k"
+	"synthesis/internal/prof"
+)
+
+// The acceptance bar for the measurement plane is zero measurable VM
+// slowdown with profiling disabled: the only added work in the step
+// loop is one nil-interface check. Compare
+//
+//	go test ./internal/prof -bench StepOverhead -benchtime 2s
+//
+// BenchmarkStepOverheadDisabled against the baseline in version
+// control; BenchmarkStepOverheadEnabled shows the (acceptable,
+// opt-in) cost of attribution.
+
+func spinMachine(b *testing.B) (*m68k.Machine, uint32, int) {
+	b.Helper()
+	m := m68k.New(m68k.Config{MemSize: 1 << 16})
+	bb := asmkit.New()
+	bb.Label("spin")
+	bb.AddL(m68k.Imm(1), m68k.D(0))
+	bb.Bra("spin")
+	entry := bb.Link(m)
+	m.PC = entry
+	m.A[7] = 0x8000
+	m.SSP = 0x8000
+	return m, entry, bb.Len()
+}
+
+func BenchmarkStepOverheadDisabled(b *testing.B) {
+	m, _, _ := spinMachine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStepOverheadEnabled(b *testing.B) {
+	m, entry, n := spinMachine(b)
+	p := prof.Enable(m, 0)
+	p.RegisterRegion("spin", entry, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

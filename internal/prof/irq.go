@@ -1,0 +1,46 @@
+package prof
+
+import "math/bits"
+
+// LatencyHist accumulates interrupt raise-to-handler-entry latencies
+// for one IPL level. Buckets are log2 cycle ranges: bucket i holds
+// latencies in [2^(i-1), 2^i) cycles, with bucket 0 for zero-cycle
+// dispatches (interrupt taken on the raising step's boundary) and the
+// last bucket absorbing everything at or beyond 2^15 cycles.
+//
+// Section 5.3's bound — interrupts stay disabled only for the handful
+// of instructions that commit a queue operation — translates here to
+// the expectation that latencies stay within the current instruction
+// plus exception-dispatch cost, i.e. the low buckets.
+type LatencyHist struct {
+	Count   uint64
+	Sum     uint64
+	Min     uint64
+	Max     uint64
+	Buckets [17]uint64
+}
+
+// Add records one latency measurement in cycles.
+func (h *LatencyHist) Add(lat uint64) {
+	if h.Count == 0 || lat < h.Min {
+		h.Min = lat
+	}
+	if lat > h.Max {
+		h.Max = lat
+	}
+	h.Count++
+	h.Sum += lat
+	b := bits.Len64(lat) // 0 for 0, k for [2^(k-1), 2^k)
+	if b >= len(h.Buckets) {
+		b = len(h.Buckets) - 1
+	}
+	h.Buckets[b]++
+}
+
+// Mean returns the average latency in cycles (0 when empty).
+func (h *LatencyHist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}

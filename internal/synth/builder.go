@@ -1,0 +1,155 @@
+package synth
+
+import (
+	"synthesis/internal/asmkit"
+	"synthesis/internal/m68k"
+)
+
+// This file is the single entry point for quaject construction. Every
+// synthesized routine — boot-time shared kernel code, per-thread
+// switch procedures, per-open device paths — runs the same pipeline:
+//
+//	Env binding -> (Collapse) -> Optimize -> ChargeSynthesis ->
+//	install -> region registration
+//
+// Creator.Synthesize and Creator.SynthesizeAt are thin wrappers over
+// a Builder, so code synthesized anywhere in the kernel is uniformly
+// accounted and, when a measurement plane is attached, attributable
+// by name.
+
+// RegionSink receives the code-space extent of every installed
+// routine. The profiler implements it; the creator reports through it
+// so synthesized code shows up in cycle attribution under its quaject
+// and entry name.
+type RegionSink interface {
+	RegisterRegion(name string, base uint32, instrs int)
+}
+
+// Builder assembles one routine through the full creation pipeline.
+// Obtain one from Creator.Build, chain the option methods, and call
+// Emit with the template closure.
+type Builder struct {
+	c       *Creator
+	q       *Quaject
+	entry   string
+	region  string
+	env     Env
+	callees map[uint32]Inlinable
+	base    uint32
+	size    int
+	inPlace bool
+}
+
+// Build starts a Builder for one entry point of q (q may be nil for
+// free-standing routines such as boot trampolines and test programs).
+func (c *Creator) Build(q *Quaject, entry string) *Builder {
+	return &Builder{c: c, q: q, entry: entry}
+}
+
+// WithEnv installs a complete hole environment (Factoring Invariants:
+// constants fold into immediates, cells stay memory references).
+func (b *Builder) WithEnv(env Env) *Builder {
+	b.env = env
+	return b
+}
+
+// Bind adds one hole binding, creating the environment on first use.
+func (b *Builder) Bind(hole string, bind Binding) *Builder {
+	if b.env == nil {
+		b.env = Env{}
+	}
+	b.env[hole] = bind
+	return b
+}
+
+// Inline registers a callee for the Collapsing Layers stage: after
+// the template runs, every `jsr addr` call site is spliced with the
+// callee body before optimization.
+func (b *Builder) Inline(addr uint32, callee Inlinable) *Builder {
+	if b.callees == nil {
+		b.callees = make(map[uint32]Inlinable)
+	}
+	b.callees[addr] = callee
+	return b
+}
+
+// At directs the install into a preallocated code region of the given
+// size instead of appending to code space; slack is NOP-filled so
+// stale tail instructions cannot execute (in-place resynthesis).
+func (b *Builder) At(base uint32, size int) *Builder {
+	b.base = base
+	b.size = size
+	b.inPlace = true
+	return b
+}
+
+// Named overrides the attribution-region name. The default is
+// "<quaject>.<entry>" (or the bare entry name for a nil quaject).
+func (b *Builder) Named(region string) *Builder {
+	b.region = region
+	return b
+}
+
+// Emit runs the template closure and the rest of the pipeline, then
+// returns the installed entry address.
+func (b *Builder) Emit(emit func(*Emitter)) uint32 {
+	c := b.c
+	e := NewEmitter(b.env)
+	emit(e)
+	p := e.Export()
+	if len(b.callees) > 0 {
+		p, _ = Collapse(p, b.callees)
+	}
+	var st OptStats
+	if c.DoOptimize {
+		p, st = Optimize(p)
+	} else {
+		st.InstrsBefore = len(p.Ins)
+		st.InstrsAfter = len(p.Ins)
+		for _, in := range p.Ins {
+			st.BytesBefore += in.ByteSize()
+		}
+		st.BytesAfter = st.BytesBefore
+	}
+	c.LastStats = st
+	if b.inPlace && len(p.Ins) > b.size {
+		panic("synth: routine does not fit its preallocated region: " + b.entry)
+	}
+	if c.ChargeTime {
+		ChargeSynthesis(c.M, st.InstrsBefore)
+	}
+	bb := asmkit.FromProgram(p)
+	addr := b.base
+	regionLen := len(p.Ins)
+	if b.inPlace {
+		bb.LinkAt(c.M, b.base)
+		for i := len(p.Ins); i < b.size; i++ {
+			c.M.Code[b.base+uint32(i)] = m68k.Instr{Op: m68k.NOP}
+		}
+		// The whole reserved region belongs to this routine: time in
+		// the NOP slack (if ever reached) is still its time.
+		regionLen = b.size
+	} else {
+		addr = bb.Link(c.M)
+	}
+	if b.q != nil {
+		b.q.Entries[b.entry] = addr
+		b.q.Instrs += st.InstrsAfter
+		b.q.Bytes += st.BytesAfter
+	}
+	c.TotalInstrs += st.InstrsAfter
+	c.TotalBytes += st.BytesAfter
+	c.Routines++
+	if c.Regions != nil {
+		name := b.region
+		if name == "" {
+			if b.q != nil && b.q.Name != "" {
+				name = b.q.Name + "." + b.entry
+			} else {
+				name = b.entry
+			}
+		}
+		c.Regions.RegisterRegion(name, addr, regionLen)
+	}
+	return addr
+}

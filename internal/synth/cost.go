@@ -32,6 +32,10 @@ func SynthesisCycles(n int) uint64 {
 }
 
 // ChargeSynthesis charges the modeled synthesis time to the machine.
+// The charge goes through Machine.Charge so an attached profiler can
+// attribute host-side synthesis time that lands between instructions
+// (synthesis triggered from inside a kernel call is simply part of
+// that call's step delta).
 func ChargeSynthesis(m *m68k.Machine, templateInstrs int) {
-	m.Cycles += SynthesisCycles(templateInstrs)
+	m.Charge(SynthesisCycles(templateInstrs), "synthesis")
 }

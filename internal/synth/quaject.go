@@ -3,7 +3,6 @@ package synth
 import (
 	"sort"
 
-	"synthesis/internal/asmkit"
 	"synthesis/internal/m68k"
 )
 
@@ -58,6 +57,11 @@ type Creator struct {
 	DoOptimize bool
 	ChargeTime bool
 
+	// Regions, when non-nil, receives the address range of every
+	// installed routine so a measurement plane can attribute cycles
+	// to named quaject code. See builder.go.
+	Regions RegionSink
+
 	// Accounting across all quajects, for the Section 6.4 table.
 	TotalInstrs int
 	TotalBytes  int
@@ -78,37 +82,10 @@ func (c *Creator) NewQuaject(name string) *Quaject {
 
 // Synthesize runs a template closure against the environment, applies
 // the optimization stage, installs the code, records it under the
-// quaject's entry name, and returns the entry address.
+// quaject's entry name, and returns the entry address. It is a
+// convenience wrapper over the Builder pipeline (builder.go).
 func (c *Creator) Synthesize(q *Quaject, entry string, env Env, emit func(*Emitter)) uint32 {
-	e := NewEmitter(env)
-	emit(e)
-	p := e.Export()
-	var st OptStats
-	if c.DoOptimize {
-		p, st = Optimize(p)
-	} else {
-		st.InstrsBefore = len(p.Ins)
-		st.InstrsAfter = len(p.Ins)
-		for _, in := range p.Ins {
-			st.BytesBefore += in.ByteSize()
-		}
-		st.BytesAfter = st.BytesBefore
-	}
-	c.LastStats = st
-	if c.ChargeTime {
-		ChargeSynthesis(c.M, st.InstrsBefore)
-	}
-	b := asmkit.FromProgram(p)
-	addr := b.Link(c.M)
-	if q != nil {
-		q.Entries[entry] = addr
-		q.Instrs += st.InstrsAfter
-		q.Bytes += st.BytesAfter
-	}
-	c.TotalInstrs += st.InstrsAfter
-	c.TotalBytes += st.BytesAfter
-	c.Routines++
-	return addr
+	return c.Build(q, entry).WithEnv(env).Emit(emit)
 }
 
 // SynthesizeAt is Synthesize into a preallocated code region, used
@@ -118,38 +95,5 @@ func (c *Creator) Synthesize(q *Quaject, entry string, env Env, emit func(*Emitt
 // must hold the routine; any slack is filled with NOPs so stale tail
 // instructions cannot execute.
 func (c *Creator) SynthesizeAt(q *Quaject, entry string, base uint32, size int, env Env, emit func(*Emitter)) {
-	e := NewEmitter(env)
-	emit(e)
-	p := e.Export()
-	var st OptStats
-	if c.DoOptimize {
-		p, st = Optimize(p)
-	} else {
-		st.InstrsBefore = len(p.Ins)
-		st.InstrsAfter = len(p.Ins)
-		for _, in := range p.Ins {
-			st.BytesBefore += in.ByteSize()
-		}
-		st.BytesAfter = st.BytesBefore
-	}
-	c.LastStats = st
-	if len(p.Ins) > size {
-		panic("synth: routine does not fit its preallocated region: " + entry)
-	}
-	if c.ChargeTime {
-		ChargeSynthesis(c.M, st.InstrsBefore)
-	}
-	b := asmkit.FromProgram(p)
-	b.LinkAt(c.M, base)
-	for i := len(p.Ins); i < size; i++ {
-		c.M.Code[base+uint32(i)] = m68k.Instr{Op: m68k.NOP}
-	}
-	if q != nil {
-		q.Entries[entry] = base
-		q.Instrs += st.InstrsAfter
-		q.Bytes += st.BytesAfter
-	}
-	c.TotalInstrs += st.InstrsAfter
-	c.TotalBytes += st.BytesAfter
-	c.Routines++
+	c.Build(q, entry).WithEnv(env).At(base, size).Emit(emit)
 }

@@ -1,13 +1,16 @@
 # Tier-1 gate and the concurrency-heavy race pass. `make tier1` is
 # what CI runs; `make race` exercises the Go-plane optimistic queues,
 # the network packet ring, and the measurement plane under the race
-# detector. `make profile` runs one Table 1 program under the profiler
+# detector. `make soak` runs the seeded fault-injection soak (lossy
+# wire + corruption + spurious IRQs + one bus error) under the race
+# detector; it is bounded (seconds) and deterministic, so a failure
+# replays. `make profile` runs one Table 1 program under the profiler
 # and emits a Chrome trace (load trace.json in about:tracing or
 # ui.perfetto.dev).
 
 GO ?= go
 
-.PHONY: tier1 race bench tables profile
+.PHONY: tier1 race soak bench tables profile
 
 tier1:
 	$(GO) build ./...
@@ -16,6 +19,12 @@ tier1:
 
 race:
 	$(GO) test -race ./internal/queue/... ./internal/net/... ./internal/prof/...
+
+soak:
+	$(GO) test -race -count 1 -timeout 120s \
+		-run 'TestFaultSoak|TestSendGivesUp|TestSendRetries|TestCorruptFrame|TestWatchdog' \
+		./internal/kio/
+	$(GO) test -race -count 1 -timeout 120s -run 'TestConcurrentFullEmptyRaces' ./internal/queue/
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .

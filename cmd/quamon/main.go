@@ -15,6 +15,7 @@
 //	quamon -profile -top 12     # per-region cycle attribution
 //	quamon -profile -trace-json trace.json
 //	quamon -table 2             # regenerate one bench table
+//	quamon -faults spurious=7:20000,buserr=disk@3 -fault-seed 7
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"strings"
 
 	"synthesis/internal/bench"
+	"synthesis/internal/fault"
 	"synthesis/internal/kernel"
 	"synthesis/internal/kio"
 	"synthesis/internal/m68k"
@@ -41,10 +43,27 @@ func main() {
 	table := flag.String("table", "",
 		"regenerate a bench table instead of the demo: one of "+strings.Join(bench.Names(), ","))
 	iters := flag.Int("iters", 200, "loop count for -table 1")
+	faults := flag.String("faults", "", "inject faults into the demo or table machines (see grammar below)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the -faults schedule; a seed replays exactly")
+	defaultUsage := flag.Usage
+	flag.Usage = func() {
+		defaultUsage()
+		fmt.Fprintf(flag.CommandLine.Output(), "\n%s\n", fault.SpecHelp)
+	}
 	flag.Parse()
 
+	if *faults != "" {
+		if _, err := fault.Parse(*faults); err != nil {
+			fmt.Fprintf(os.Stderr, "quamon: %v\n%s\n", err, fault.SpecHelp)
+			os.Exit(2)
+		}
+	}
+
 	if *table != "" {
-		t, err := bench.Run(*table, bench.RunConfig{Iters: int32(*iters), Profile: *profile})
+		t, err := bench.Run(*table, bench.RunConfig{
+			Iters: int32(*iters), Profile: *profile,
+			FaultSpec: *faults, FaultSeed: *faultSeed,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "quamon: table %s: %v\n", *table, err)
 			os.Exit(1)
@@ -63,6 +82,11 @@ func main() {
 	io := kio.Install(k)
 	unixemu.Install(k)
 	_ = io
+	var inj *fault.Injector
+	if *faults != "" {
+		inj, _ = fault.FromSpec(*faults, *faultSeed) // validated above
+		inj.Attach(k.M)
+	}
 
 	if _, err := k.FS.CreateSized("/etc/motd", []byte("welcome to synthesis\n"), 256); err != nil {
 		panic(err)
@@ -105,6 +129,16 @@ func main() {
 	fmt.Printf("tty output: %q\n\n", string(k.TTY.Output()))
 	fmt.Printf("machine counters: %d instructions, %d memory references, %d cycles (%.1f usec simulated)\n\n",
 		k.M.Instrs, k.M.MemRefs, k.M.Cycles, k.M.Now())
+	if inj != nil {
+		fmt.Printf("fault injector: %+v\n", inj.Stats)
+		if len(k.Faults) > 0 {
+			fmt.Printf("threads killed by injected faults: %+v\n", k.Faults)
+		}
+		if n := k.SpuriousIRQs(); n > 0 {
+			fmt.Printf("spurious interrupts absorbed: %d\n", n)
+		}
+		fmt.Println()
+	}
 
 	if k.Prof != nil {
 		fmt.Printf("top regions by cycles:\n%s\n", k.Prof.Report(*top))

@@ -15,6 +15,7 @@
 //	synbench -iters 500               # heavier Table 1 loops
 //	synbench -table 1 -profile        # Table 1 with attribution coverage row
 //	synbench -profile-run "open-close tty" -top 15 -trace-json trace.json
+//	synbench -table 7 -faults drop=0.2,spurious=7:50000 -fault-seed 42
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"strings"
 
 	"synthesis/internal/bench"
+	"synthesis/internal/fault"
 )
 
 func main() {
@@ -36,7 +38,21 @@ func main() {
 			strings.Join(bench.Table1ProgramNames(), ", "))
 	top := flag.Int("top", 10, "regions to show in the -profile-run report")
 	traceJSON := flag.String("trace-json", "", "write the -profile-run Chrome trace (about:tracing JSON) here")
+	faults := flag.String("faults", "", "inject faults into every machine the tables boot (see grammar below)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the -faults schedule; a seed replays exactly")
+	defaultUsage := flag.Usage
+	flag.Usage = func() {
+		defaultUsage()
+		fmt.Fprintf(flag.CommandLine.Output(), "\n%s\n", fault.SpecHelp)
+	}
 	flag.Parse()
+
+	if *faults != "" {
+		if _, err := fault.Parse(*faults); err != nil {
+			fmt.Fprintf(os.Stderr, "synbench: %v\n%s\n", err, fault.SpecHelp)
+			os.Exit(2)
+		}
+	}
 
 	if *profileRun != "" {
 		p, err := bench.RunProfiled(*profileRun, int32(*iters))
@@ -62,7 +78,7 @@ func main() {
 		return
 	}
 
-	cfg := bench.RunConfig{Iters: int32(*iters), Profile: *profile}
+	cfg := bench.RunConfig{Iters: int32(*iters), Profile: *profile, FaultSpec: *faults, FaultSeed: *faultSeed}
 	names := bench.Names()
 	if *table != "all" {
 		found := false

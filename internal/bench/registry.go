@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+
+	"synthesis/internal/fault"
 )
 
 // Table registry: every table file registers its generator in an
@@ -13,10 +15,15 @@ import (
 
 // RunConfig carries the knobs a caller can set uniformly across
 // tables. Tables without an iteration knob ignore Iters; tables
-// without profiling support ignore Profile.
+// without profiling support ignore Profile. A non-empty FaultSpec
+// (see fault.SpecHelp for the grammar) attaches a seeded fault
+// injector to every rig the table boots, so any table can be rerun
+// under a fault schedule.
 type RunConfig struct {
-	Iters   int32
-	Profile bool
+	Iters     int32
+	Profile   bool
+	FaultSpec string
+	FaultSeed int64
 }
 
 // TableFunc generates one table.
@@ -62,11 +69,29 @@ func Names() []string {
 	return names
 }
 
-// Run generates the named table.
+// Run generates the named table. When cfg.FaultSpec is set, the
+// parsed plan is staged so that every rig booted while the table
+// generates attaches a seeded injector (see attachFaults in rig.go).
 func Run(name string, cfg RunConfig) (Table, error) {
 	fn, ok := registry[name]
 	if !ok {
 		return Table{}, fmt.Errorf("bench: unknown table %q (have %v)", name, Names())
 	}
+	if cfg.FaultSpec != "" {
+		plan, err := fault.Parse(cfg.FaultSpec)
+		if err != nil {
+			return Table{}, err
+		}
+		activeFaults = &plan
+		activeFaultSeed = cfg.FaultSeed
+		defer func() { activeFaults = nil }()
+	}
 	return fn(cfg)
 }
+
+// Staged fault schedule for the current Run call; rigs consult it at
+// boot. Bench runs are single-goroutine, so a package cell suffices.
+var (
+	activeFaults    *fault.Plan
+	activeFaultSeed int64
+)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"synthesis/internal/asmkit"
+	"synthesis/internal/fault"
 	"synthesis/internal/kernel"
 	"synthesis/internal/kio"
 	"synthesis/internal/m68k"
@@ -35,6 +36,15 @@ type Rig interface {
 	Marks() []float64
 	// Name identifies the rig in reports.
 	Name() string
+}
+
+// attachFaults wires the staged fault schedule (from RunConfig's
+// FaultSpec) into a freshly booted rig machine. No-op when the
+// current Run has no schedule.
+func attachFaults(m *m68k.Machine) {
+	if activeFaults != nil {
+		fault.New(*activeFaults, activeFaultSeed).Attach(m)
+	}
 }
 
 // prepare pokes the shared name strings and file contents.
@@ -84,6 +94,7 @@ func newSynthRig(profile bool) *SynthRig {
 		panic(err)
 	}
 	prepareNames(k.M)
+	attachFaults(k.M)
 	return &SynthRig{K: k, IO: io}
 }
 
@@ -116,6 +127,7 @@ func NewSunRig() *SunRig {
 	k := sunos.Boot(m68k.Sun3Config())
 	k.CreateFile(benchFileName, make([]byte, 1024), 8192)
 	prepareNames(k.M)
+	attachFaults(k.M)
 	return &SunRig{K: k}
 }
 

@@ -174,14 +174,19 @@ func TestTable6Shape(t *testing.T) {
 	}
 	t.Log("\n" + tab.String())
 
-	// The acceptance bar: the synthesized data paths must be at most
-	// half the generic path on the identical VM — even though the
-	// synthesized send count includes the receive interrupt and queue
-	// deposit while the NIC-less baseline pays no interrupt at all.
+	// The acceptance bars. Both paths now checksum every frame, and
+	// the sum is data-proportional work (one add per payload long) that
+	// specialization cannot eliminate — it puts a shared floor of ~150
+	// instructions under a 128-byte datagram exchange. The send bar is
+	// therefore a ratio over that floor rather than the 2x that held
+	// before the checksum layer: the synthesized send must stay at
+	// least 25% under the generic path even though its count includes
+	// the receive interrupt and queue deposit while the NIC-less
+	// baseline pays no interrupt at all.
 	sSend := row(t, tab, "send 128 B, synthesized path").Measured
 	uSend := row(t, tab, "send 128 B, generic sunos path").Measured
-	if 2*sSend > uSend {
-		t.Errorf("synthesized send = %.0f instr, generic = %.0f: not <= half", sSend, uSend)
+	if 4*uSend < 5*sSend {
+		t.Errorf("synthesized send = %.0f instr, generic = %.0f: not >= 1.25x", sSend, uSend)
 	}
 	sRecv := row(t, tab, "recv 128 B, synthesized path").Measured
 	uRecv := row(t, tab, "recv 128 B, generic sunos path").Measured
@@ -201,6 +206,52 @@ func TestTable6Shape(t *testing.T) {
 	}
 	if o := row(t, tab, "socket open, generic sunos").Measured; o <= 0 {
 		t.Errorf("generic open = %.1f usec", o)
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	tab, err := Table7(RunConfig{Iters: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.String())
+
+	// Throughput must degrade monotonically-ish with loss but never
+	// collapse: every frame is eventually delivered by the ARQ, so the
+	// 30%-loss run must still clear a third of the loss-free rate.
+	base := row(t, tab, "throughput @  0% frame loss").Measured
+	worst := row(t, tab, "throughput @ 30% frame loss").Measured
+	if base <= 0 || worst <= 0 {
+		t.Fatalf("throughput rows: base=%.0f worst=%.0f", base, worst)
+	}
+	if worst >= base {
+		t.Errorf("30%% loss throughput %.0f fr/s not below loss-free %.0f", worst, base)
+	}
+	if worst < base/3 {
+		t.Errorf("30%% loss throughput %.0f fr/s collapsed (loss-free %.0f)", worst, base)
+	}
+	// Lossy runs must report retransmissions and a positive recovery
+	// latency in a sane band (a retransmit costs about one send path,
+	// tens of microseconds — not milliseconds).
+	for _, name := range []string{
+		"recovery latency @ 10% frame loss",
+		"recovery latency @ 20% frame loss",
+		"recovery latency @ 30% frame loss",
+	} {
+		r := row(t, tab, name)
+		if r.Measured <= 0 || r.Measured > 1000 {
+			t.Errorf("%s = %.1f usec, want (0, 1000)", name, r.Measured)
+		}
+	}
+	// The watchdog must both engage and release within a few sampling
+	// windows (500 usec each). Release pays an extra window: the
+	// window the storm dies in still counts as stormy, so the gauge
+	// only reads quiet one full window later.
+	if e := row(t, tab, "IRQ-storm throttle engage").Measured; e <= 0 || e > 3*500 {
+		t.Errorf("storm engage latency = %.0f usec, want within ~3 windows", e)
+	}
+	if e := row(t, tab, "IRQ-storm throttle release").Measured; e <= 0 || e > 4*500 {
+		t.Errorf("storm release latency = %.0f usec, want within ~4 windows", e)
 	}
 }
 

@@ -1,0 +1,165 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SpecHelp documents the -faults grammar for command --help output
+// and EXPERIMENTS.md. A spec is a comma-separated list of items; the
+// same item may repeat (spurious/storm/buserr accumulate, the scalar
+// knobs take the last value).
+const SpecHelp = `fault spec grammar (comma-separated items):
+  drop=P            lose each NIC frame with probability P in [0,1]
+  corrupt=P         flip one checksum/payload byte with probability P
+  dup=P             deliver each frame twice with probability P
+  delay=P:CYCLES    delay the receive interrupt by CYCLES with probability P
+  ringfull=P        force a receive-ring-full drop with probability P
+  jitter=CYCLES     add uniform [0,CYCLES) to every timer arming
+  spurious=L:GAP    spurious interrupts at IPL L, mean gap GAP cycles
+  storm=L@AT:NxGAP  N interrupts at IPL L starting at cycle AT, one per GAP cycles
+  buserr=DEV@N      bus error on the Nth access to device DEV's window
+example: drop=0.2,corrupt=0.05,spurious=7:50000,buserr=disk@3`
+
+// Parse builds a Plan from a spec string (see SpecHelp).
+func Parse(spec string) (Plan, error) {
+	var p Plan
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return p, fmt.Errorf("fault: %q: want key=value", item)
+		}
+		var err error
+		switch key {
+		case "drop":
+			p.Drop, err = prob(val)
+		case "corrupt":
+			p.Corrupt, err = prob(val)
+		case "dup":
+			p.Dup, err = prob(val)
+		case "ringfull":
+			p.RingFull, err = prob(val)
+		case "jitter":
+			p.Jitter, err = cycles(val)
+		case "delay":
+			pr, cy, ok := strings.Cut(val, ":")
+			if !ok {
+				err = fmt.Errorf("want P:CYCLES")
+				break
+			}
+			if p.Delay, err = prob(pr); err != nil {
+				break
+			}
+			p.DelayCycles, err = cycles(cy)
+		case "spurious":
+			lv, gap, ok := strings.Cut(val, ":")
+			if !ok {
+				err = fmt.Errorf("want L:GAP")
+				break
+			}
+			var s Spurious
+			if s.Level, err = level(lv); err != nil {
+				break
+			}
+			if s.MeanGap, err = cycles(gap); err != nil {
+				break
+			}
+			if s.MeanGap == 0 {
+				err = fmt.Errorf("gap must be positive")
+				break
+			}
+			p.Spurious = append(p.Spurious, s)
+		case "storm":
+			lv, rest, ok := strings.Cut(val, "@")
+			if !ok {
+				err = fmt.Errorf("want L@AT:NxGAP")
+				break
+			}
+			at, burst, ok := strings.Cut(rest, ":")
+			if !ok {
+				err = fmt.Errorf("want L@AT:NxGAP")
+				break
+			}
+			n, gap, ok := strings.Cut(burst, "x")
+			if !ok {
+				err = fmt.Errorf("want L@AT:NxGAP")
+				break
+			}
+			var s Storm
+			if s.Level, err = level(lv); err != nil {
+				break
+			}
+			if s.At, err = cycles(at); err != nil {
+				break
+			}
+			if s.Count, err = strconv.Atoi(n); err != nil || s.Count < 1 {
+				err = fmt.Errorf("count %q must be a positive integer", n)
+				break
+			}
+			if s.Gap, err = cycles(gap); err != nil {
+				break
+			}
+			p.Storms = append(p.Storms, s)
+		case "buserr":
+			dev, nth, ok := strings.Cut(val, "@")
+			if !ok || dev == "" {
+				err = fmt.Errorf("want DEV@N")
+				break
+			}
+			var b BusErr
+			b.Dev = dev
+			if b.Nth, err = cycles(nth); err != nil {
+				break
+			}
+			if b.Nth == 0 {
+				err = fmt.Errorf("access index is 1-based")
+				break
+			}
+			p.BusErrs = append(p.BusErrs, b)
+		default:
+			err = fmt.Errorf("unknown fault kind")
+		}
+		if err != nil {
+			return p, fmt.Errorf("fault: %q: %v", item, err)
+		}
+	}
+	return p, nil
+}
+
+// FromSpec parses spec and builds the seeded injector in one step.
+func FromSpec(spec string, seed int64) (*Injector, error) {
+	p, err := Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return New(p, seed), nil
+}
+
+func prob(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 || v > 1 {
+		return 0, fmt.Errorf("probability %q must be in [0,1]", s)
+	}
+	return v, nil
+}
+
+func cycles(s string) (uint64, error) {
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cycle count %q must be a non-negative integer", s)
+	}
+	return v, nil
+}
+
+func level(s string) (int, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 1 || v > 7 {
+		return 0, fmt.Errorf("IPL %q must be 1..7", s)
+	}
+	return v, nil
+}

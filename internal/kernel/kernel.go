@@ -42,6 +42,8 @@ type Kernel struct {
 	rtAlarm     uint32 // shared alarm interrupt handler
 	rtSigRet    uint32 // trap #3: return from signal
 	rtErrTrap   uint32 // error trap: reflect into a user-mode error signal
+	rtBusTrap   uint32 // bus/address error: reflect, or reap the thread
+	rtSpurious  uint32 // unclaimed interrupt level: count and return
 	rtPanicVec  uint32 // catch-all for unexpected exceptions
 	rtLookup    uint32 // d1 = name ptr: hashed-backwards directory walk
 	rtCreate    uint32 // kcreate: TTE fill + registration
@@ -57,6 +59,10 @@ type Kernel struct {
 
 	// PanicMsg is set when the panic service fires.
 	PanicMsg string
+
+	// Faults logs threads reaped by the bus-error trap: the kernel
+	// degrades instead of dying, and this is the post-mortem trail.
+	Faults []FaultRecord
 
 	// OpenHook lets the I/O layer (kio package) implement the open
 	// bookkeeping + code synthesis. Wired by kio.Install.
@@ -83,6 +89,15 @@ type Thread struct {
 	Linked   bool // in the ready ring (mirror; the ring itself is in VM memory)
 	Dead     bool
 	FDs      [MaxFD]FDInfo
+}
+
+// FaultRecord is one thread reaped after an unhandled bus or address
+// error.
+type FaultRecord struct {
+	TTE   uint32
+	Name  string
+	PC    uint32 // faulting PC, from the exception frame
+	Cycle uint64
 }
 
 // FDInfo mirrors what open installed in a descriptor slot.
@@ -242,6 +257,14 @@ func (k *Kernel) AlarmRoutine() uint32 { return k.rtAlarm }
 // before threads are created.
 func (k *Kernel) ProtoVectors() uint32 { return k.protoVec }
 
+// SpuriousRoutine returns the count-and-return handler for unclaimed
+// interrupt levels.
+func (k *Kernel) SpuriousRoutine() uint32 { return k.rtSpurious }
+
+// SpuriousIRQs reports how many spurious interrupts the kernel has
+// absorbed.
+func (k *Kernel) SpuriousIRQs() uint32 { return k.g(GSpuriousIRQ) }
+
 // SpawnKernel creates a kernel-mode thread running the given code
 // address, links it into the ready ring and counts it live.
 func (k *Kernel) SpawnKernel(name string, entry uint32) *Thread {
@@ -363,6 +386,27 @@ func (k *Kernel) registerServices() {
 		if live > 0 {
 			live--
 			k.setg(GLiveThreads, live)
+		}
+		return 0
+	})
+	m.RegisterService(SvcThreadFault, func(mm *m68k.Machine) uint64 {
+		// The bus trap's kill path: log the fault and do the exit
+		// bookkeeping; the VM side then leaves the ring and frees the
+		// TTE exactly like a voluntary exit. Frame above the service
+		// call: [D0][A0][SR][PC], faulting PC at +12.
+		rec := FaultRecord{
+			TTE:   k.CurTTE(),
+			PC:    mm.Peek(mm.A[7]+12, 4),
+			Cycle: mm.Cycles,
+		}
+		if t := k.Cur(); t != nil {
+			rec.Name = t.Name
+			t.Dead = true
+			t.Linked = false
+		}
+		k.Faults = append(k.Faults, rec)
+		if live := k.g(GLiveThreads); live > 0 {
+			k.setg(GLiveThreads, live-1)
 		}
 		return 0
 	})

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"synthesis/internal/fault"
 	"synthesis/internal/kernel"
 	"synthesis/internal/m68k"
 	"synthesis/internal/synth"
@@ -633,5 +634,112 @@ func TestDoubleStartAndDoubleStopAreIdempotent(t *testing.T) {
 	}
 	if k.M.Peek(c2, 4) == 0 {
 		t.Error("driver starved")
+	}
+}
+
+func TestBusErrorReapsFaultingThread(t *testing.T) {
+	k := boot(t)
+	const flagBefore, flagAfter, flagPeer = 0x9100, 0x9104, 0x9108
+	victim := k.C.Synthesize(nil, "victim", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.Imm(1), m68k.Abs(flagBefore))
+		e.Tst(4, m68k.Abs(0x00e0_0000)) // unmapped: bus error
+		e.MoveL(m68k.Imm(1), m68k.Abs(flagAfter))
+		exitSeq(e)
+	})
+	peer := k.C.Synthesize(nil, "peer", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.Imm(2000), m68k.D(1))
+		e.Label("spin")
+		e.SubL(m68k.Imm(1), m68k.D(1))
+		e.Bne("spin")
+		e.MoveL(m68k.Imm(1), m68k.Abs(flagPeer))
+		exitSeq(e)
+	})
+	tv := k.SpawnKernel("victim", victim)
+	k.SpawnKernel("peer", peer)
+	k.Start(tv)
+	if err := k.Run(10_000_000); err != nil {
+		t.Fatalf("run: %v\ntrace tail:\n%s", err, tail(k))
+	}
+	if k.PanicMsg != "" {
+		t.Fatalf("kernel panicked: %s", k.PanicMsg)
+	}
+	if k.M.Peek(flagBefore, 4) != 1 {
+		t.Error("victim never ran")
+	}
+	if k.M.Peek(flagAfter, 4) != 0 {
+		t.Error("victim survived its bus error")
+	}
+	if k.M.Peek(flagPeer, 4) != 1 {
+		t.Error("peer thread did not keep running after the fault")
+	}
+	if !tv.Dead {
+		t.Error("victim not marked dead")
+	}
+	if len(k.Faults) != 1 {
+		t.Fatalf("fault log: got %d records, want 1", len(k.Faults))
+	}
+	if k.Faults[0].Name != "victim" {
+		t.Errorf("fault log names %q, want victim", k.Faults[0].Name)
+	}
+	if k.Faults[0].PC == 0 {
+		t.Error("fault log lost the faulting PC")
+	}
+}
+
+func TestBusErrorStillReflectsToHandler(t *testing.T) {
+	k := boot(t)
+	const flag = 0x9200
+	var handler uint32
+	prog := k.C.Synthesize(nil, "main", nil, func(e *synth.Emitter) {
+		e.Tst(4, m68k.Abs(0x00e0_0000)) // unmapped: bus error
+		e.MoveL(m68k.Imm(7), m68k.Abs(flag))
+		exitSeq(e)
+	})
+	handler = k.C.Synthesize(nil, "handler", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.Imm(kernel.SysExit), m68k.D(0))
+		e.Trap(kernel.TrapSys)
+	})
+	th := k.SpawnKernel("faulty", prog)
+	k.M.Poke(th.TTE+kernel.TTEErrPC, 4, handler)
+	k.Start(th)
+	if err := k.Run(5_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if k.PanicMsg != "" {
+		t.Fatalf("kernel panicked: %s", k.PanicMsg)
+	}
+	if len(k.Faults) != 0 {
+		t.Errorf("reflected fault must not be logged as a reap, got %v", k.Faults)
+	}
+	if !th.Dead {
+		t.Error("handler never exited the thread")
+	}
+}
+
+func TestSpuriousInterruptsAreCountedNotFatal(t *testing.T) {
+	k := boot(t)
+	inj := fault.New(fault.Plan{
+		Storms: []fault.Storm{{Level: 1, At: 2_000, Count: 5, Gap: 500}},
+	}, 1)
+	inj.Attach(k.M)
+	const flag = 0x9300
+	prog := k.C.Synthesize(nil, "main", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.Imm(20_000), m68k.D(1))
+		e.Label("spin")
+		e.SubL(m68k.Imm(1), m68k.D(1))
+		e.Bne("spin")
+		e.MoveL(m68k.Imm(1), m68k.Abs(flag))
+		exitSeq(e)
+	})
+	th := k.SpawnKernel("main", prog)
+	runToCompletion(t, k, th, 5_000_000)
+	if k.M.Peek(flag, 4) != 1 {
+		t.Error("thread did not survive the spurious interrupts")
+	}
+	if got := k.SpuriousIRQs(); got != 5 {
+		t.Errorf("spurious counter = %d, want 5", got)
+	}
+	if inj.Stats.StormUp != 5 {
+		t.Errorf("injector asserted %d storm interrupts, want 5", inj.Stats.StormUp)
 	}
 }

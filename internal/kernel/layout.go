@@ -46,6 +46,12 @@ const (
 	// chaining; the chained procedure's epilogue jumps through it.
 	GChainPC = GlobalsBase + 16
 
+	// GSpuriousIRQ counts interrupts taken at a level no handler has
+	// claimed. Real buses glitch; a spurious interrupt is survivable
+	// noise, not a kernel bug, so the shared handler counts it and
+	// returns instead of panicking.
+	GSpuriousIRQ = GlobalsBase + 20
+
 	// HeapBase is where the kernel heap begins.
 	HeapBase uint32 = 0x0001_0000
 )
@@ -140,15 +146,16 @@ const (
 
 // KCALL service ids.
 const (
-	SvcPanic     = 1  // unhandled exception: stop simulation loudly
-	SvcExit      = 2  // thread exit bookkeeping
-	SvcOpen      = 3  // open bookkeeping + read/write synthesis
-	SvcClose     = 4  // close bookkeeping
-	SvcAllocTTE  = 5  // allocate TTE memory + code region -> D0
-	SvcFreeTTE   = 6  // release a destroyed thread's resources
-	SvcPipe      = 7  // create pipe queue + fds
-	SvcFPResynth = 8  // line-F trap: resynthesize switch code with FP
-	SvcRegister  = 9  // post-create registration of a thread
-	SvcTrace     = 10 // trace (single-step) completion: stop the thread
-	SvcSock      = 11 // open a network socket: queue alloc + send/recv synthesis
+	SvcPanic       = 1  // unhandled exception: stop simulation loudly
+	SvcExit        = 2  // thread exit bookkeeping
+	SvcOpen        = 3  // open bookkeeping + read/write synthesis
+	SvcClose       = 4  // close bookkeeping
+	SvcAllocTTE    = 5  // allocate TTE memory + code region -> D0
+	SvcFreeTTE     = 6  // release a destroyed thread's resources
+	SvcPipe        = 7  // create pipe queue + fds
+	SvcFPResynth   = 8  // line-F trap: resynthesize switch code with FP
+	SvcRegister    = 9  // post-create registration of a thread
+	SvcTrace       = 10 // trace (single-step) completion: stop the thread
+	SvcSock        = 11 // open a network socket: queue alloc + send/recv synthesis
+	SvcThreadFault = 12 // bus-error reap: log the fault, thread-exit bookkeeping
 )

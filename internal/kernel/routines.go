@@ -246,6 +246,48 @@ func (k *Kernel) synthesizeShared() {
 		e.Halt()
 	})
 
+	// --- bus/address error: the asynchronous-world variant of the
+	// error trap. A thread that touches a bad bus address with a
+	// handler registered gets the same reflection as rtErrTrap; one
+	// without a handler is reaped — the fault kills the thread, not
+	// the machine. The kill path is the exit path of the system-call
+	// dispatcher with SvcThreadFault doing the bookkeeping (and
+	// recording the post-mortem) in place of SvcExit.
+	k.rtBusTrap = c.Synthesize(kq, "bus_trap", nil, func(e *synth.Emitter) {
+		e.MoveL(m68k.A(0), m68k.PreDec(7))
+		e.MoveL(m68k.D(0), m68k.PreDec(7))
+		e.MoveL(m68k.Abs(GCurTTE), m68k.A(0))
+		e.TstL(m68k.Disp(TTEErrPC, 0))
+		e.Beq("kill")
+		e.MoveL(m68k.Disp(12, 7), m68k.D(0)) // faulting PC
+		e.MoveL(m68k.D(0), m68k.Disp(TTESigOld, 0))
+		e.MoveL(m68k.Disp(TTEErrPC, 0), m68k.D(0))
+		e.MoveL(m68k.D(0), m68k.Disp(12, 7)) // return-from-exception enters the handler
+		e.MoveL(m68k.PostInc(7), m68k.D(0))
+		e.MoveL(m68k.PostInc(7), m68k.A(0))
+		e.Rte()
+		e.Label("kill")
+		e.Kcall(SvcThreadFault) // reads the frame: [D0][A0][SR][PC]
+		e.Tst(4, m68k.Abs(GLiveThreads))
+		e.Bne("killsw")
+		e.Halt() // the faulting thread was the last one
+		e.Label("killsw")
+		e.MoveL(m68k.Abs(GCurTTE), m68k.A(0))
+		e.MoveL(m68k.A(0), m68k.D(1))
+		e.Jsr(k.rtLeave)
+		e.Kcall(SvcFreeTTE)
+		e.Trap(TrapSwitch) // never resumed
+		e.Halt()
+	})
+
+	// --- spurious interrupt: an interrupt at a level no driver has
+	// claimed. Count it and return; glitching buses are weather, not
+	// an emergency.
+	k.rtSpurious = c.Synthesize(kq, "spurious_int", nil, func(e *synth.Emitter) {
+		e.AddL(m68k.Imm(1), m68k.Abs(GSpuriousIRQ))
+		e.Rte()
+	})
+
 	// --- line-F: first FP use; resynthesize the thread's context
 	// switch with FP save/restore and retry the instruction.
 	k.rtLineF = c.Synthesize(kq, "linef_fp", nil, func(e *synth.Emitter) {
@@ -265,13 +307,19 @@ func (k *Kernel) synthesizeShared() {
 		m.Poke(k.protoVec+uint32(v)*4, 4, k.rtPanicVec)
 	}
 	set := func(vec int, addr uint32) { m.Poke(k.protoVec+uint32(vec)*4, 4, addr) }
+	// Interrupt levels default to the spurious counter; drivers that
+	// claim a level (alarm below, the I/O layer via ProtoVectors)
+	// overwrite their slot.
+	for lvl := 1; lvl <= 7; lvl++ {
+		set(m68k.VecAutovector+lvl, k.rtSpurious)
+	}
 	set(m68k.VecTrapBase+TrapSys, k.rtSysDisp)
 	set(m68k.VecTrapBase+TrapSig, k.rtSigRet)
 	set(m68k.VecAutovector+m68k.IRQAlarm, k.rtAlarm)
 	set(m68k.VecTrace, k.rtTraceStop)
 	set(m68k.VecLineF, k.rtLineF)
-	set(m68k.VecBusError, k.rtErrTrap)
-	set(m68k.VecAddressError, k.rtErrTrap)
+	set(m68k.VecBusError, k.rtBusTrap)
+	set(m68k.VecAddressError, k.rtBusTrap)
 	set(m68k.VecIllegal, k.rtErrTrap)
 	set(m68k.VecZeroDivide, k.rtErrTrap)
 	set(m68k.VecPrivilege, k.rtErrTrap)

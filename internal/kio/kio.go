@@ -40,11 +40,18 @@ type IO struct {
 	nextDiskBlock uint32 // host-side block allocation cursor
 
 	// Network server state.
-	netIntH     uint32 // synthesized receive interrupt handler (current)
-	netRing     uint32 // NIC DMA receive ring base
-	netTailCell uint32 // kernel mirror of the consumed-frame count
-	netDropCell uint32 // frames for ports nobody has open
-	socks       []*NSocket
+	netIntH      uint32 // synthesized receive interrupt handler (current)
+	netRing      uint32 // NIC DMA receive ring base
+	netTailCell  uint32 // kernel mirror of the consumed-frame count
+	netDropCell  uint32 // frames for ports nobody has open
+	netStormCell uint32 // handler entries this watchdog window
+	netCoalCell  uint32 // coalescing front-end interrupt counter
+	netPortCount uint32 // generic fallback: open-socket count cell
+	netPortTab   uint32 // generic fallback: [port, queue] pair table
+	netGeneric   bool   // demux strategy: layered table walk, not compare chain
+	netCoalesce  uint32 // >0: storm throttle, drain every Nth interrupt
+	netWD        *Watchdog
+	socks        []*NSocket
 }
 
 // TTYIntHandler returns the synthesized tty interrupt handler's code

@@ -37,8 +37,10 @@ const (
 	NQRWait     = 8  // reader wait cell
 	NQGauge     = 12 // frames deposited (I/O gauge)
 	NQDrops     = 16 // frames dropped at a full queue
-	NQFlags     = 20 // NQSlotCount valid-flag bytes
-	NQSlots     = 28 // slot array
+	NQErrs      = 20 // frames dropped on checksum mismatch
+	NQTxFail    = 24 // sends abandoned after the retry budget
+	NQFlags     = 28 // NQSlotCount valid-flag bytes
+	NQSlots     = 36 // slot array
 	NQSlotCount = 8
 	NQSlotBytes = 256
 	nqSize      = NQSlots + NQSlotCount*NQSlotBytes
@@ -48,6 +50,15 @@ const (
 const (
 	netRingSlots  = 16
 	netRingSlotSz = 256
+	maxSockets    = 16 // generic-fallback port table capacity
+)
+
+// Send retry policy: a refused launch (ring full) is retried with an
+// exponentially doubling unmasked spin, so the receive interrupt can
+// drain the ring between attempts.
+const (
+	sendRetries  = 8  // launch attempts before giving up
+	sendBackoff0 = 32 // first backoff spin count, doubled per retry
 )
 
 // NSocket is the host-side mirror of one open socket.
@@ -76,16 +87,21 @@ func (io *IO) NetStackDrops() uint32 {
 // device, and installs the (initially socket-less) receive handler.
 func (io *IO) installNet() {
 	k := io.K
-	// [tail cell (4)][stack-drop cell (4)][ring slots]
-	base, err := k.Heap.Alloc(8 + netRingSlots*netRingSlotSz)
+	// [tail][stack-drop][storm][coalesce][port count][port table][ring]
+	base, err := k.Heap.Alloc(20 + maxSockets*8 + netRingSlots*netRingSlotSz)
 	if err != nil {
 		panic("kio: cannot allocate NIC receive ring")
 	}
 	io.netTailCell = base
 	io.netDropCell = base + 4
-	io.netRing = base + 8
-	k.M.Poke(io.netTailCell, 4, 0)
-	k.M.Poke(io.netDropCell, 4, 0)
+	io.netStormCell = base + 8
+	io.netCoalCell = base + 12
+	io.netPortCount = base + 16
+	io.netPortTab = base + 20
+	io.netRing = base + 20 + maxSockets*8
+	for off := uint32(0); off < 20+maxSockets*8; off += 4 {
+		k.M.Poke(base+off, 4, 0)
+	}
 
 	k.M.Store(m68k.NetBase+m68k.NetRegRxBase, 4, io.netRing)
 	k.M.Store(m68k.NetBase+m68k.NetRegRxSlots, 4, netRingSlots)
@@ -95,10 +111,19 @@ func (io *IO) installNet() {
 	io.resynthNetHandler()
 }
 
-// resynthNetHandler rebuilds the receive interrupt handler with the
-// current socket set's ports folded in as compare-immediates, and
+// resynthNetHandler rebuilds the receive interrupt handler and
 // installs it in every vector table. The previous handler is
 // abandoned in code space, as the original kernel does.
+//
+// The handler is synthesized in one of two demultiplex disciplines:
+// the Synthesis one (the open sockets' ports folded in as
+// compare-immediates) or — after the watchdog has declared the
+// synthesized handler wedged — the generic layered one, a run-time
+// walk of a port table kept in machine memory, the way a conventional
+// kernel would do it. When the watchdog has engaged the storm
+// throttle, a coalescing front-end is prepended: only every
+// netCoalesce-th interrupt runs the drain, so a screaming level costs
+// three instructions per scream instead of a full drain attempt.
 func (io *IO) resynthNetHandler() {
 	k := io.K
 	tailCell := io.netTailCell
@@ -107,14 +132,35 @@ func (io *IO) resynthNetHandler() {
 	rxHead := m68k.NetBase + m68k.NetRegRxHead
 	rxTail := m68k.NetBase + m68k.NetRegRxTail
 	socks := append([]*NSocket(nil), io.socks...)
+	generic := io.netGeneric
+	coalesce := io.netCoalesce
+	io.pokePortTable()
 
-	io.netIntH = k.C.Build(nil, "net_intr").Named("kio.net_intr").Emit(func(e *synth.Emitter) {
+	name := "net_intr"
+	if generic {
+		name = "net_intr_generic"
+	}
+	io.netIntH = k.C.Build(nil, name).Named("kio." + name).Emit(func(e *synth.Emitter) {
 		e.MoveL(m68k.D(0), m68k.PreDec(7))
 		e.MoveL(m68k.D(1), m68k.PreDec(7))
 		e.MoveL(m68k.D(2), m68k.PreDec(7))
 		e.MoveL(m68k.A(0), m68k.PreDec(7))
 		e.MoveL(m68k.A(1), m68k.PreDec(7))
 		e.MoveL(m68k.A(2), m68k.PreDec(7))
+		if generic {
+			e.MoveL(m68k.D(3), m68k.PreDec(7))
+		}
+		if io.netWD != nil {
+			// Watchdog storm gauge: one count per handler entry.
+			e.AddL(m68k.Imm(1), m68k.Abs(io.netStormCell))
+		}
+		if coalesce > 0 {
+			e.AddL(m68k.Imm(1), m68k.Abs(io.netCoalCell))
+			e.MoveL(m68k.Abs(io.netCoalCell), m68k.D(0))
+			e.AndL(m68k.Imm(int32(coalesce-1)), m68k.D(0))
+			e.Beq("nd_drain")
+			e.Bra("nd_done")
+		}
 
 		// Drain every frame the NIC has DMA'd: one interrupt covers a
 		// whole delivery batch.
@@ -128,31 +174,74 @@ func (io *IO) resynthNetHandler() {
 		e.LslL(m68k.Imm(8), m68k.D(1)) // * netRingSlotSz
 		e.Lea(m68k.Abs(ring), 0)
 		e.AddL(m68k.D(1), m68k.A(0))
-		// Demultiplex on the destination port in the frame header. The
-		// open sockets' ports are synthesis-time constants: the "port
-		// table" is this compare chain.
+		// Demultiplex on the destination port in the frame header.
 		e.MoveL(m68k.Disp(4, 0), m68k.D(1)) // dst port
-		for i, s := range socks {
-			e.CmpL(m68k.Imm(int32(s.Local)), m68k.D(1))
-			e.Beq(sockLabel(i))
-		}
-		e.AddL(m68k.Imm(1), m68k.Abs(dropCell)) // nobody home
-		e.Bra("nd_next")
-		for i, s := range socks {
-			e.Label(sockLabel(i))
-			e.Lea(m68k.Abs(s.Queue), 2)
-			e.Bra("nd_dep")
-		}
-		if len(socks) == 0 {
-			// Keep the shared deposit block reachable-by-label even
-			// with no sockets; it is simply never branched to.
+		if generic {
+			// Layered discipline: walk the in-memory port table.
+			e.MoveL(m68k.Abs(io.netPortCount), m68k.D(3))
+			e.Beq("nd_nohome")
+			e.Lea(m68k.Abs(io.netPortTab), 2)
+			e.Label("nd_walk")
+			e.Cmp(4, m68k.Ind(2), m68k.D(1))
+			e.Beq("nd_hit")
+			e.Lea(m68k.Disp(8, 2), 2)
+			e.SubL(m68k.Imm(1), m68k.D(3))
+			e.Bne("nd_walk")
+			e.Label("nd_nohome")
+			e.AddL(m68k.Imm(1), m68k.Abs(dropCell)) // nobody home
 			e.Bra("nd_next")
+			e.Label("nd_hit")
+			e.MoveL(m68k.Disp(4, 2), m68k.A(2)) // queue base
+			e.Bra("nd_dep")
+		} else {
+			// Synthesis discipline: the open sockets' ports are
+			// synthesis-time constants; the "port table" is this
+			// compare chain.
+			for i, s := range socks {
+				e.CmpL(m68k.Imm(int32(s.Local)), m68k.D(1))
+				e.Beq(sockLabel(i))
+			}
+			e.AddL(m68k.Imm(1), m68k.Abs(dropCell)) // nobody home
+			e.Bra("nd_next")
+			for i, s := range socks {
+				e.Label(sockLabel(i))
+				e.Lea(m68k.Abs(s.Queue), 2)
+				e.Bra("nd_dep")
+			}
+			if len(socks) == 0 {
+				// Keep the shared deposit block reachable-by-label even
+				// with no sockets; it is simply never branched to.
+				e.Bra("nd_next")
+			}
 		}
 
 		// Shared deposit block: A0 = ring slot, A2 = socket queue.
+		// First verify the wire checksum: the NIC DMA zero-pads the
+		// slot tail to a long boundary, so the long-wise sum never
+		// reads stale bytes. A corrupt frame is counted on the owning
+		// socket and dropped before it touches the queue.
+		e.Label("nd_dep")
+		e.MoveL(m68k.Ind(0), m68k.D(1))
+		e.SubL(m68k.Imm(synnet.HeaderBytes), m68k.D(1)) // payload bytes
+		e.MoveL(m68k.D(1), m68k.D(2))
+		e.AddL(m68k.Imm(3), m68k.D(2))
+		e.LsrL(m68k.Imm(2), m68k.D(2)) // payload long count
+		e.Lea(m68k.Disp(4+synnet.HeaderBytes, 0), 1)
+		e.Clr(4, m68k.D(1))
+		e.Tst(4, m68k.D(2))
+		e.Beq("nd_cksum_done")
+		e.SubL(m68k.Imm(1), m68k.D(2))
+		e.Label("nd_cksum")
+		e.AddL(m68k.PostInc(1), m68k.D(1))
+		e.Dbra(2, "nd_cksum")
+		e.Label("nd_cksum_done")
+		e.Cmp(4, m68k.Disp(4+8, 0), m68k.D(1)) // header checksum word
+		e.Beq("nd_ckok")
+		e.AddL(m68k.Imm(1), m68k.Disp(NQErrs, 2))
+		e.Bra("nd_next")
+		e.Label("nd_ckok")
 		// Optimistic MP-SC insert: CAS claims a slot on the head
 		// count, the copy fills it, the flag store publishes it.
-		e.Label("nd_dep")
 		e.MoveL(m68k.Disp(NQHead, 2), m68k.D(1))
 		e.Label("nd_claim")
 		e.MoveL(m68k.D(1), m68k.D(2))
@@ -198,6 +287,9 @@ func (io *IO) resynthNetHandler() {
 		e.Bra("nd_drain")
 
 		e.Label("nd_done")
+		if generic {
+			e.MoveL(m68k.PostInc(7), m68k.D(3))
+		}
 		e.MoveL(m68k.PostInc(7), m68k.A(2))
 		e.MoveL(m68k.PostInc(7), m68k.A(1))
 		e.MoveL(m68k.PostInc(7), m68k.A(0))
@@ -211,6 +303,18 @@ func (io *IO) resynthNetHandler() {
 
 func sockLabel(i int) string {
 	return "nd_s" + string(rune('0'+i))
+}
+
+// pokePortTable mirrors the open-socket set into the in-memory port
+// table the generic fallback handler walks. Maintained on every
+// open/close so the fallback can engage at any moment.
+func (io *IO) pokePortTable() {
+	m := io.K.M
+	m.Poke(io.netPortCount, 4, uint32(len(io.socks)))
+	for i, s := range io.socks {
+		m.Poke(io.netPortTab+uint32(i)*8, 4, s.Local)
+		m.Poke(io.netPortTab+uint32(i)*8+4, 4, s.Queue)
+	}
 }
 
 // OpenSocket binds a datagram socket to a local port, connected to a
@@ -235,7 +339,12 @@ func (io *IO) OpenSocket(t *kernel.Thread, local, remote uint32) int32 {
 	if err != nil {
 		return -1
 	}
-	stage, err := k.Heap.Alloc(synnet.FrameMax)
+	if len(io.socks) >= maxSockets {
+		return -1
+	}
+	// One long of slack past FrameMax: the send path zero-pads the
+	// payload tail long before the long-wise checksum.
+	stage, err := k.Heap.Alloc(synnet.FrameMax + 4)
 	if err != nil {
 		return -1
 	}
@@ -274,47 +383,97 @@ func (io *IO) closeSocket(t *kernel.Thread, fd int32) {
 }
 
 // synthSockSend emits the socket's write routine: send(d1=buf,
-// d2=len) -> d0 = payload bytes sent. The destination and source
+// d2=len) -> d0 = payload bytes sent, or -1 when the NIC ring stayed
+// full through the whole retry budget. The destination and source
 // ports are immediates stored straight into the staging frame — the
 // header "layer" has been collapsed into two constant stores — and
-// the NIC launch is two folded-address register stores under a brief
-// mask so concurrent senders cannot interleave the address/length
-// pair.
+// the checksum is a register loop over the staged payload with the
+// staging address folded in, stored straight into the header: no
+// separate checksum layer runs at call time. The NIC launch is two
+// folded-address register stores under a brief mask so concurrent
+// senders cannot interleave the address/length pair; a refused
+// launch (TxStat 0: ring full) is retried with exponential backoff,
+// spinning unmasked so the receive interrupt can drain the ring.
 func (io *IO) synthSockSend(t *kernel.Thread, fd int32, s *NSocket) uint32 {
 	stage := s.Stage
+	q := s.Queue
 	g := kernel.FDCell(t.TTE, int(fd), kernel.FDGauge)
 	txAddr := m68k.NetBase + m68k.NetRegTxAddr
 	txLen := m68k.NetBase + m68k.NetRegTxLen
+	txStat := m68k.NetBase + m68k.NetRegTxStat
 	return io.K.C.Build(t.Q, "sock_send").
 		Named(fmt.Sprintf("kio.sock%d.send", s.Local)).
 		Bind("remote", synth.ConstOf(s.Remote)).
 		Bind("local", synth.ConstOf(s.Local)).
 		Emit(func(e *synth.Emitter) {
-		e.CmpL(m68k.Imm(synnet.MTU), m68k.D(2))
-		e.Bls("ss_fit")
-		e.MoveL(m68k.Imm(synnet.MTU), m68k.D(2))
-		e.Label("ss_fit")
-		// The frame header, as two immediate stores: the peer ports
-		// are Env constants folded straight into the emitted code.
-		e.MoveL(e.HoleOperand("remote"), m68k.Abs(stage+0))
-		e.MoveL(e.HoleOperand("local"), m68k.Abs(stage+4))
-		e.MoveL(m68k.D(2), m68k.PreDec(7)) // payload length
-		e.MoveL(m68k.D(1), m68k.A(0))
-		e.Lea(m68k.Abs(stage+synnet.HeaderBytes), 1)
-		e.MoveL(m68k.D(2), m68k.D(1))
-		emitCopy(e)
-		e.MoveL(m68k.PostInc(7), m68k.D(0))
-		// Launch. The receive interrupt for loopback traffic latches
-		// during the masked pair and is taken right after the unmask.
-		e.OrSR(iplMaskBits)
-		e.MoveL(m68k.Imm(int32(stage)), m68k.Abs(txAddr))
-		e.MoveL(m68k.D(0), m68k.D(1))
-		e.AddL(m68k.Imm(synnet.HeaderBytes), m68k.D(1))
-		e.MoveL(m68k.D(1), m68k.Abs(txLen)) // the store launches the frame
-		e.AndSR(^uint16(iplMaskBits))
-		e.AddL(m68k.D(0), m68k.Abs(g))
-		e.Rte()
-	})
+			e.CmpL(m68k.Imm(synnet.MTU), m68k.D(2))
+			e.Bls("ss_fit")
+			e.MoveL(m68k.Imm(synnet.MTU), m68k.D(2))
+			e.Label("ss_fit")
+			// The frame header, as two immediate stores: the peer ports
+			// are Env constants folded straight into the emitted code.
+			e.MoveL(e.HoleOperand("remote"), m68k.Abs(stage+0))
+			e.MoveL(e.HoleOperand("local"), m68k.Abs(stage+4))
+			// Zero the staging long the payload tail lands in, so the
+			// long-wise checksum below sees zero padding (the stage is one
+			// long larger than FrameMax for exactly this).
+			e.MoveL(m68k.D(2), m68k.D(0))
+			e.AndL(m68k.Imm(^int32(3)), m68k.D(0))
+			e.Lea(m68k.Abs(stage+synnet.HeaderBytes), 0)
+			e.Clr(4, m68k.Idx(0, 0, 0, 1))
+			e.MoveL(m68k.D(2), m68k.PreDec(7)) // payload length
+			e.MoveL(m68k.D(1), m68k.A(0))
+			e.Lea(m68k.Abs(stage+synnet.HeaderBytes), 1)
+			e.MoveL(m68k.D(2), m68k.D(1))
+			emitCopy(e)
+			// Checksum the staged payload long-wise straight into the
+			// header slot: two instructions per long.
+			e.MoveL(m68k.Ind(7), m68k.D(0))
+			e.AddL(m68k.Imm(3), m68k.D(0))
+			e.LsrL(m68k.Imm(2), m68k.D(0)) // payload long count
+			e.Lea(m68k.Abs(stage+synnet.HeaderBytes), 0)
+			e.Clr(4, m68k.D(1))
+			e.Tst(4, m68k.D(0))
+			e.Beq("ss_ckdone")
+			e.SubL(m68k.Imm(1), m68k.D(0))
+			e.Label("ss_cksum")
+			e.AddL(m68k.PostInc(0), m68k.D(1))
+			e.Dbra(0, "ss_cksum")
+			e.Label("ss_ckdone")
+			e.MoveL(m68k.D(1), m68k.Abs(stage+8))
+			e.MoveL(m68k.PostInc(7), m68k.D(0)) // payload length
+			e.MoveL(m68k.Imm(sendRetries), m68k.D(2))
+			e.MoveL(m68k.Imm(sendBackoff0), m68k.A(1)) // backoff spin count
+			// Launch. The receive interrupt for loopback traffic latches
+			// during the masked pair and is taken right after the unmask.
+			e.Label("ss_try")
+			e.OrSR(iplMaskBits)
+			e.MoveL(m68k.Imm(int32(stage)), m68k.Abs(txAddr))
+			e.MoveL(m68k.D(0), m68k.D(1))
+			e.AddL(m68k.Imm(synnet.HeaderBytes), m68k.D(1))
+			e.MoveL(m68k.D(1), m68k.Abs(txLen)) // the store launches the frame
+			e.AndSR(^uint16(iplMaskBits))
+			e.Tst(4, m68k.Abs(txStat))
+			e.Bne("ss_sent")
+			// Refused: ring full. Back off and retry, bounded.
+			e.SubL(m68k.Imm(1), m68k.D(2))
+			e.Beq("ss_fail")
+			e.MoveL(m68k.A(1), m68k.D(1))
+			e.Label("ss_spin")
+			e.SubL(m68k.Imm(1), m68k.D(1))
+			e.Bne("ss_spin")
+			e.MoveL(m68k.A(1), m68k.D(1))
+			e.AddL(m68k.D(1), m68k.D(1)) // double the backoff
+			e.MoveL(m68k.D(1), m68k.A(1))
+			e.Bra("ss_try")
+			e.Label("ss_fail")
+			e.AddL(m68k.Imm(1), m68k.Abs(q+NQTxFail))
+			e.MoveL(m68k.Imm(-1), m68k.D(0))
+			e.Rte()
+			e.Label("ss_sent")
+			e.AddL(m68k.D(0), m68k.Abs(g))
+			e.Rte()
+		})
 }
 
 // synthSockRecv emits the socket's read routine: recv(d1=buf,
@@ -329,44 +488,44 @@ func (io *IO) synthSockRecv(t *kernel.Thread, fd int32, s *NSocket) uint32 {
 	return io.K.C.Build(t.Q, "sock_recv").
 		Named(fmt.Sprintf("kio.sock%d.recv", s.Local)).
 		Emit(func(e *synth.Emitter) {
-		e.Label("sr_wait")
-		e.OrSR(iplMaskBits)
-		e.MoveL(m68k.Abs(q+NQTail), m68k.D(0))
-		e.AndL(m68k.Imm(NQSlotCount-1), m68k.D(0))
-		e.Lea(m68k.Abs(q+NQFlags), 0)
-		e.Tst(1, m68k.Idx(0, 0, 0, 1)) // flags[tail & mask]
-		e.Bne("sr_have")
-		e.Lea(m68k.Abs(q+NQRWait), 0)
-		e.Jsr(io.K.BlockOnRoutine())
-		e.AndSR(^uint16(iplMaskBits))
-		e.Bra("sr_wait")
-		e.Label("sr_have")
-		e.AndSR(^uint16(iplMaskBits))
-		// A0 = slot; the flag alone published it, so the copy runs
-		// unmasked.
-		e.MoveL(m68k.D(0), m68k.PreDec(7)) // slot index
-		e.LslL(m68k.Imm(8), m68k.D(0))     // * NQSlotBytes
-		e.Lea(m68k.Abs(q+NQSlots), 0)
-		e.AddL(m68k.D(0), m68k.A(0))
-		e.MoveL(m68k.Ind(0), m68k.D(0)) // payload length
-		e.Cmp(4, m68k.D(2), m68k.D(0))
-		e.Bls("sr_fit")
-		e.MoveL(m68k.D(2), m68k.D(0)) // clamp to the caller's buffer
-		e.Label("sr_fit")
-		e.MoveL(m68k.D(1), m68k.A(1))
-		e.Lea(m68k.Disp(4, 0), 0)
-		e.MoveL(m68k.D(0), m68k.PreDec(7)) // return count
-		e.MoveL(m68k.D(0), m68k.D(1))
-		emitCopy(e)
-		e.MoveL(m68k.PostInc(7), m68k.D(0))
-		// Retire the slot: clear the flag first, then advance the
-		// tail — a producer may claim the slot the moment the tail
-		// moves.
-		e.MoveL(m68k.PostInc(7), m68k.D(1))
-		e.Lea(m68k.Abs(q+NQFlags), 0)
-		e.Clr(1, m68k.Idx(0, 0, 1, 1))
-		e.AddL(m68k.Imm(1), m68k.Abs(q+NQTail))
-		e.AddL(m68k.D(0), m68k.Abs(g))
-		e.Rte()
-	})
+			e.Label("sr_wait")
+			e.OrSR(iplMaskBits)
+			e.MoveL(m68k.Abs(q+NQTail), m68k.D(0))
+			e.AndL(m68k.Imm(NQSlotCount-1), m68k.D(0))
+			e.Lea(m68k.Abs(q+NQFlags), 0)
+			e.Tst(1, m68k.Idx(0, 0, 0, 1)) // flags[tail & mask]
+			e.Bne("sr_have")
+			e.Lea(m68k.Abs(q+NQRWait), 0)
+			e.Jsr(io.K.BlockOnRoutine())
+			e.AndSR(^uint16(iplMaskBits))
+			e.Bra("sr_wait")
+			e.Label("sr_have")
+			e.AndSR(^uint16(iplMaskBits))
+			// A0 = slot; the flag alone published it, so the copy runs
+			// unmasked.
+			e.MoveL(m68k.D(0), m68k.PreDec(7)) // slot index
+			e.LslL(m68k.Imm(8), m68k.D(0))     // * NQSlotBytes
+			e.Lea(m68k.Abs(q+NQSlots), 0)
+			e.AddL(m68k.D(0), m68k.A(0))
+			e.MoveL(m68k.Ind(0), m68k.D(0)) // payload length
+			e.Cmp(4, m68k.D(2), m68k.D(0))
+			e.Bls("sr_fit")
+			e.MoveL(m68k.D(2), m68k.D(0)) // clamp to the caller's buffer
+			e.Label("sr_fit")
+			e.MoveL(m68k.D(1), m68k.A(1))
+			e.Lea(m68k.Disp(4, 0), 0)
+			e.MoveL(m68k.D(0), m68k.PreDec(7)) // return count
+			e.MoveL(m68k.D(0), m68k.D(1))
+			emitCopy(e)
+			e.MoveL(m68k.PostInc(7), m68k.D(0))
+			// Retire the slot: clear the flag first, then advance the
+			// tail — a producer may claim the slot the moment the tail
+			// moves.
+			e.MoveL(m68k.PostInc(7), m68k.D(1))
+			e.Lea(m68k.Abs(q+NQFlags), 0)
+			e.Clr(1, m68k.Idx(0, 0, 1, 1))
+			e.AddL(m68k.Imm(1), m68k.Abs(q+NQTail))
+			e.AddL(m68k.D(0), m68k.Abs(g))
+			e.Rte()
+		})
 }

@@ -1,0 +1,163 @@
+package kio
+
+import (
+	"synthesis/internal/kernel"
+	"synthesis/internal/m68k"
+	"synthesis/internal/synth"
+)
+
+// The network watchdog quaject: the recovery plane's policy half.
+//
+// The data plane already degrades on its own — checksummed receive,
+// bounded-retry send, counted drops. What it cannot do alone is
+// notice that the *handler itself* has gone wrong: a device screaming
+// interrupts at its level (an IRQ storm), or a synthesized handler
+// that runs but no longer drains the ring (wedged — e.g. its code was
+// clobbered). The watchdog samples the handler's gauges once per
+// alarm window and responds the way Synthesis responds to everything:
+// by resynthesizing the handler.
+//
+//   - Storm: handler entries per window exceed StormThreshold. The
+//     handler is resynthesized with a coalescing front-end — only
+//     every CoalesceBatch-th interrupt runs the drain, so a scream
+//     costs three instructions instead of a drain attempt (Collapsing
+//     Layers applied to recovery: the mitigation is folded into the
+//     handler, not bolted on around it). When the rate falls below
+//     half the threshold, the plain handler is resynthesized and one
+//     interrupt is posted to drain whatever the batching deferred.
+//
+//   - Wedge: frames are pending (NIC head ahead of the kernel's
+//     consumed-frame cursor) but the cursor has not moved for
+//     WedgeWindows consecutive windows. The handler is resynthesized
+//     in the generic layered discipline — a run-time port-table walk,
+//     the way a conventional kernel demultiplexes — on the theory
+//     that the specialized code path is what broke. One interrupt is
+//     posted to restart the drain.
+//
+// Every transition is logged as a RecoveryEvent with the cycle it
+// happened at; Table 7 reports recovery latency from these.
+
+// WatchdogConfig tunes the policy.
+type WatchdogConfig struct {
+	WindowUS       float64 // alarm sampling window (default 500)
+	StormThreshold uint32  // handler entries per window that count as a storm (default 64)
+	CoalesceBatch  uint32  // drain every Nth interrupt while throttled (default 8, power of two)
+	WedgeWindows   int     // stalled windows before the generic fallback (default 2)
+}
+
+// DefaultWatchdogConfig returns the standard policy settings.
+func DefaultWatchdogConfig() WatchdogConfig {
+	return WatchdogConfig{WindowUS: 500, StormThreshold: 64, CoalesceBatch: 8, WedgeWindows: 2}
+}
+
+// RecoveryEvent is one watchdog action, for reports and tests.
+type RecoveryEvent struct {
+	Cycle uint64
+	Kind  string // "throttle-on", "throttle-off", "generic-fallback"
+}
+
+// Watchdog is the policy state. Policy runs in Go behind a KCALL (the
+// same division as the fine-grain scheduler: gauges are bumped by
+// synthesized code, the policy that reads them is host code).
+type Watchdog struct {
+	io  *IO
+	Cfg WatchdogConfig
+
+	Events    []RecoveryEvent
+	throttled bool
+	lastTail  uint32
+	stalled   int
+	proc      uint32 // synthesized alarm procedure
+}
+
+const svcWatchdog = 111
+
+// InstallWatchdog arranges for the watchdog to sample the network
+// handler from the machine's alarm channel. It owns the alarm channel
+// (like the scheduler's InstallAlarmDriver — install one or the
+// other) and resynthesizes the receive handler so it maintains the
+// storm gauge. Call before spawning threads or after; the vector
+// pokes cover both.
+func (io *IO) InstallWatchdog(cfg WatchdogConfig) *Watchdog {
+	if cfg.WindowUS <= 0 {
+		cfg.WindowUS = 500
+	}
+	if cfg.StormThreshold == 0 {
+		cfg.StormThreshold = 64
+	}
+	if cfg.CoalesceBatch == 0 {
+		cfg.CoalesceBatch = 8
+	}
+	if cfg.WedgeWindows <= 0 {
+		cfg.WedgeWindows = 2
+	}
+	k := io.K
+	w := &Watchdog{io: io, Cfg: cfg}
+	io.netWD = w
+	io.resynthNetHandler() // now bumps the storm gauge
+
+	cycles := int32(cfg.WindowUS * k.M.ClockMHz)
+	k.M.RegisterService(svcWatchdog, func(mm *m68k.Machine) uint64 {
+		w.tick()
+		return 0
+	})
+	w.proc = k.C.Synthesize(nil, "net_watchdog", nil, func(e *synth.Emitter) {
+		e.Kcall(svcWatchdog)
+		e.MoveL(m68k.Imm(cycles), m68k.Abs(m68k.TimerBase+m68k.TimerRegAlarm))
+		e.Rts()
+	})
+	k.M.Poke(kernel.GAlarmProc, 4, w.proc)
+	k.Timer.Store(m68k.TimerRegAlarm, 4, uint32(cycles))
+	k.M.Kick(k.Timer)
+	return w
+}
+
+// tick runs one policy step: read and reset the window gauges, engage
+// or release the storm throttle, detect a wedged handler.
+func (w *Watchdog) tick() {
+	io := w.io
+	m := io.K.M
+	entries := m.Peek(io.netStormCell, 4)
+	m.Poke(io.netStormCell, 4, 0)
+
+	if !w.throttled && entries >= w.Cfg.StormThreshold {
+		w.throttled = true
+		io.netCoalesce = w.Cfg.CoalesceBatch
+		io.resynthNetHandler()
+		w.event("throttle-on")
+	} else if w.throttled && entries < w.Cfg.StormThreshold/2 {
+		w.throttled = false
+		io.netCoalesce = 0
+		io.resynthNetHandler()
+		// Drain whatever the batching deferred.
+		m.PostInterrupt(m68k.IRQNet)
+		w.event("throttle-off")
+	}
+
+	// Wedge: frames pending but the drain cursor stalled.
+	tail := m.Peek(io.netTailCell, 4)
+	if io.K.Net.RxPending() > 0 && tail == w.lastTail {
+		w.stalled++
+	} else {
+		w.stalled = 0
+	}
+	w.lastTail = tail
+	if w.stalled >= w.Cfg.WedgeWindows && !io.netGeneric {
+		io.netGeneric = true
+		io.resynthNetHandler()
+		m.PostInterrupt(m68k.IRQNet)
+		w.event("generic-fallback")
+		w.stalled = 0
+	}
+}
+
+func (w *Watchdog) event(kind string) {
+	w.Events = append(w.Events, RecoveryEvent{Cycle: w.io.K.M.Cycles, Kind: kind})
+}
+
+// Throttled reports whether the storm throttle is engaged.
+func (w *Watchdog) Throttled() bool { return w.throttled }
+
+// GenericFallback reports whether the receive path has fallen back to
+// the layered table-walk handler.
+func (io *IO) GenericFallback() bool { return io.netGeneric }

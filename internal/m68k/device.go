@@ -90,15 +90,27 @@ func (t *Timer) Store(off uint32, sz uint8, val uint32) {
 		if val == 0 {
 			t.quantumA = 0
 		} else {
-			t.quantumA = t.m.Clock() + uint64(val)
+			t.quantumA = t.m.Clock() + t.arm(uint64(val))
 		}
 	case TimerRegAlarm:
 		if val == 0 {
 			t.alarmA = 0
 		} else {
-			t.alarmA = t.m.Clock() + uint64(val)
+			t.alarmA = t.m.Clock() + t.arm(uint64(val))
 		}
 	}
+}
+
+// arm runs an arming interval through the fault injector's clock
+// jitter, keeping it at least one cycle so an armed channel fires.
+func (t *Timer) arm(cycles uint64) uint64 {
+	if t.m.Inj != nil {
+		cycles = t.m.Inj.TimerArm(cycles)
+		if cycles == 0 {
+			cycles = 1
+		}
+	}
+	return cycles
 }
 
 // Tick implements Device. The two channels assert distinct interrupt

@@ -1,0 +1,33 @@
+package m68k
+
+// Injector is the fault-injection hook into the device layer. It
+// follows the Probe pattern exactly: a nil Inj — the default — means
+// no fault plane is attached, and the only cost the feature adds to a
+// healthy machine is one nil check on the paths below. A non-nil
+// injector sees every device-window access, every NIC frame on the
+// wire, every receive-ring deposit and every timer arming, and may
+// perturb each one deterministically (implementations seed their own
+// RNG so a fault schedule replays exactly).
+type Injector interface {
+	// AccessFault is consulted on every load or store that lands in a
+	// device register window. Returning true makes the access take a
+	// bus-error exception instead of reaching the device — a modeled
+	// bus error on the device's select line.
+	AccessFault(dev Device, off uint32, write bool) bool
+
+	// Frame intercepts one NIC frame on the wire. It returns the
+	// frames that actually arrive (an empty slice models loss, more
+	// than one models duplication, and the bytes may be corrupted)
+	// plus extra delivery latency in cycles added to the receive
+	// interrupt. The input slice must not be retained.
+	Frame(frame []byte) (out [][]byte, delayCycles uint64)
+
+	// RingFull is consulted per receive-ring deposit; returning true
+	// forces the NIC to behave as if its ring were full, dropping the
+	// frame and counting it as an overrun.
+	RingFull() bool
+
+	// TimerArm adjusts a timer arming interval (quantum or alarm),
+	// modeling clock jitter. The returned interval replaces cycles.
+	TimerArm(cycles uint64) uint64
+}

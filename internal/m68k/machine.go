@@ -180,14 +180,18 @@ type Machine struct {
 	// off (see the Probe interface).
 	Probe Probe
 
+	// Inj is the attached fault-injection plane, nil when fault
+	// injection is off (see the Injector interface).
+	Inj Injector
+
 	// Interrupts and devices.
 	devices     []Device
-	devNext     []uint64   // per-device next event time (0 = none)
-	pendIRQ     uint8      // bitmask of pending interrupt levels
-	irqRaisedAt [8]uint64  // cycle each pending level was first asserted
-	stopped     bool       // STOP executed; waiting for interrupt
+	devNext     []uint64  // per-device next event time (0 = none)
+	pendIRQ     uint8     // bitmask of pending interrupt levels
+	irqRaisedAt [8]uint64 // cycle each pending level was first asserted
+	stopped     bool      // STOP executed; waiting for interrupt
 	halted      bool
-	inStep      bool       // executing inside Step (probe bookkeeping)
+	inStep      bool // executing inside Step (probe bookkeeping)
 	services    map[uint8]Service
 }
 
@@ -342,6 +346,9 @@ func (m *Machine) Kick(d Device) {
 func (m *Machine) Load(addr uint32, sz uint8) (uint32, error) {
 	m.chargeMem(1)
 	if d := m.deviceFor(addr); d != nil {
+		if m.Inj != nil && m.Inj.AccessFault(d, addr-d.Base(), false) {
+			return 0, &BusFault{Addr: addr, PC: m.PC}
+		}
 		v := d.Load(addr-d.Base(), sz)
 		m.Kick(d)
 		return v, nil
@@ -370,6 +377,9 @@ func (m *Machine) loadRaw(addr uint32, sz uint8) uint32 {
 func (m *Machine) Store(addr uint32, sz uint8, val uint32) error {
 	m.chargeMem(1)
 	if d := m.deviceFor(addr); d != nil {
+		if m.Inj != nil && m.Inj.AccessFault(d, addr-d.Base(), true) {
+			return &BusFault{Addr: addr, Write: true, PC: m.PC}
+		}
 		d.Store(addr-d.Base(), sz, val)
 		m.Kick(d)
 		return nil

@@ -34,6 +34,7 @@ const (
 	NetRegRxTail  uint32 = 0x1c // write: frames consumed so far (frees slots)
 	NetRegTxCount uint32 = 0x20 // read: frames launched so far
 	NetRegDrops   uint32 = 0x24 // read: frames dropped (ring full/oversize/disabled)
+	NetRegTxStat  uint32 = 0x28 // read: 1 = last launched frame was accepted by the receiver
 )
 
 // Net is the network interface device.
@@ -57,6 +58,7 @@ type Net struct {
 	rxTail uint32 // free-running count of frames consumed
 	txCnt  uint32
 	drops  uint32
+	txStat uint32 // 1 after a launch the receiving ring accepted
 
 	irqAt uint64 // absolute cycle of the pending receive interrupt (0 = none)
 }
@@ -89,6 +91,8 @@ func (n *Net) Load(off uint32, sz uint8) uint32 {
 		return n.txCnt
 	case NetRegDrops:
 		return n.drops
+	case NetRegTxStat:
+		return n.txStat
 	}
 	return 0
 }
@@ -105,7 +109,11 @@ func (n *Net) Store(off uint32, sz uint8, val uint32) {
 		if target == nil {
 			target = n
 		}
-		target.Deliver(frame)
+		if target.Deliver(frame) {
+			n.txStat = 1
+		} else {
+			n.txStat = 0
+		}
 	case NetRegRxBase:
 		n.rxBase = val
 	case NetRegRxSlots:
@@ -119,31 +127,59 @@ func (n *Net) Store(off uint32, sz uint8, val uint32) {
 	}
 }
 
-// Deliver DMAs a frame "from the wire" into the receive ring and
-// schedules the receive interrupt. InjectFrame is the host-facing
-// alias for tests and traffic generators.
-func (n *Net) Deliver(frame []byte) {
+// Deliver puts a frame on the wire toward this NIC's receive ring and
+// schedules the receive interrupt. An attached fault injector sees the
+// frame first and may lose, corrupt, duplicate or delay it. Deliver
+// reports whether the receive ring accepted every frame that survived
+// the wire: ring backpressure is visible to the transmitter (via
+// NetRegTxStat), silent wire loss is not — that is what checksums and
+// retransmission are for. InjectFrame is the host-facing alias for
+// tests and traffic generators.
+func (n *Net) Deliver(frame []byte) bool {
+	if n.m.Inj != nil {
+		out, delay := n.m.Inj.Frame(frame)
+		ok := true
+		for _, f := range out {
+			if !n.deliverRaw(f, delay) {
+				ok = false
+			}
+		}
+		return ok
+	}
+	return n.deliverRaw(frame, 0)
+}
+
+// deliverRaw DMAs one post-injection frame into the receive ring.
+func (n *Net) deliverRaw(frame []byte, delay uint64) bool {
 	if !n.enabled || n.rxSlots == 0 || n.slotSz == 0 ||
 		uint32(len(frame))+4 > n.slotSz ||
-		n.rxHead-n.rxTail >= n.rxSlots {
+		n.rxHead-n.rxTail >= n.rxSlots ||
+		(n.m.Inj != nil && n.m.Inj.RingFull()) {
 		n.drops++
-		return
+		return false
 	}
 	slot := n.rxBase + (n.rxHead&(n.rxSlots-1))*n.slotSz
 	n.m.Poke(slot, 4, uint32(len(frame)))
 	n.m.PokeBytes(slot+4, frame)
+	// The DMA engine writes whole long words: zero the pad up to the
+	// next long boundary so a long-wise payload checksum over the slot
+	// never reads a stale byte from an earlier, longer frame.
+	for off := uint32(len(frame)); off%4 != 0; off++ {
+		n.m.Poke(slot+4+off, 1, 0)
+	}
 	n.rxHead++
 	if n.irqAt == 0 {
-		n.irqAt = n.m.Clock() + n.LatencyCycles
+		n.irqAt = n.m.Clock() + n.LatencyCycles + delay
 		if n.irqAt == 0 {
 			n.irqAt = 1 // cycle 0 would read as "no interrupt pending"
 		}
 	}
 	n.m.Kick(n)
+	return true
 }
 
 // InjectFrame delivers a frame as if it arrived from the network.
-func (n *Net) InjectFrame(frame []byte) { n.Deliver(frame) }
+func (n *Net) InjectFrame(frame []byte) bool { return n.Deliver(frame) }
 
 // RxPending returns how many DMA'd frames await consumption (host
 // view, for tests).

@@ -19,19 +19,37 @@ import (
 	"synthesis/internal/queue"
 )
 
-// Wire format: a frame is an 8-byte header — destination port and
-// source port, each a 32-bit word so synthesized Quamachine code
-// handles them with single long moves — followed by up to MTU payload
-// bytes.
+// Wire format: a frame is a 12-byte header — destination port, source
+// port and payload checksum, each a 32-bit word so synthesized
+// Quamachine code handles them with single long moves — followed by up
+// to MTU payload bytes.
 const (
-	HeaderBytes = 8
+	HeaderBytes = 12
 	MTU         = 240
 	FrameMax    = HeaderBytes + MTU
 )
 
+// Checksum is the wire checksum: the 32-bit sum of the payload taken
+// as big-endian long words, the last word zero-padded on the right.
+// Long-wise so the VM planes compute it at one add per long — the
+// synthesized send folds it into the staging copy (Collapsing Layers),
+// the generic baseline runs it as its own layer.
+func Checksum(p []byte) uint32 {
+	var sum uint32
+	for i := 0; i < len(p); i += 4 {
+		var w uint32
+		for j := 0; j < 4 && i+j < len(p); j++ {
+			w |= uint32(p[i+j]) << uint(24-8*j)
+		}
+		sum += w
+	}
+	return sum
+}
+
 // Frame is one datagram.
 type Frame struct {
 	Dst, Src uint32
+	Sum      uint32 // Checksum of Payload
 	Payload  []byte
 }
 
@@ -91,6 +109,22 @@ type Stack struct {
 	peer  *Stack
 	socks map[uint32]*Socket
 	drops atomic.Uint64
+	fault WireFault
+}
+
+// WireFault models a lossy link in the Go plane: it sees every frame
+// in transit and reports whether the frame still arrives; it may also
+// corrupt the frame in place (the receive side's checksum verify
+// catches that). Used by fault soak tests to stress the concurrent
+// receive path under the race detector.
+type WireFault func(f *Frame) bool
+
+// SetWireFault installs (or, with nil, removes) the stack's lossy
+// link.
+func (s *Stack) SetWireFault(f WireFault) {
+	s.mu.Lock()
+	s.fault = f
+	s.mu.Unlock()
 }
 
 // NewLoopback creates a stack looped onto itself: two sockets on the
@@ -119,6 +153,7 @@ type Socket struct {
 	rx            *PacketRing
 	avail         chan struct{}
 	closed        atomic.Bool
+	errs          atomic.Uint64 // frames dropped on checksum mismatch
 }
 
 // ErrPortInUse reports an Open on an already-bound local port.
@@ -143,13 +178,24 @@ func (s *Stack) Open(local, remote uint32, slots int) (*Socket, error) {
 	return sk, nil
 }
 
-// deliver demultiplexes one arriving frame to the bound socket.
+// deliver demultiplexes one arriving frame to the bound socket,
+// dropping (and counting, per socket) frames whose checksum no longer
+// matches their payload.
 func (s *Stack) deliver(f Frame) {
 	s.mu.Lock()
 	sk := s.socks[f.Dst]
+	fault := s.fault
 	s.mu.Unlock()
+	if fault != nil && !fault(&f) {
+		s.drops.Add(1)
+		return
+	}
 	if sk == nil {
 		s.drops.Add(1)
+		return
+	}
+	if f.Sum != Checksum(f.Payload) {
+		sk.errs.Add(1)
 		return
 	}
 	sk.rx.Put(f)
@@ -167,7 +213,7 @@ func (sk *Socket) Send(p []byte) error {
 	if len(p) > MTU {
 		p = p[:MTU]
 	}
-	f := Frame{Dst: sk.Remote, Src: sk.Local, Payload: append([]byte(nil), p...)}
+	f := Frame{Dst: sk.Remote, Src: sk.Local, Sum: Checksum(p), Payload: append([]byte(nil), p...)}
 	sk.stack.peer.deliver(f)
 	return nil
 }
@@ -214,3 +260,6 @@ func (sk *Socket) Close() {
 
 // Drops reports frames discarded at this socket's full receive ring.
 func (sk *Socket) Drops() uint64 { return sk.rx.Drops() }
+
+// Errs reports frames dropped at this socket for checksum mismatch.
+func (sk *Socket) Errs() uint64 { return sk.errs.Load() }

@@ -1,0 +1,130 @@
+package queue_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"synthesis/internal/queue"
+)
+
+// TestWraparoundTable drives every queue kind through put/get patterns
+// that repeatedly cross the index wraparound and the full and empty
+// boundaries, checked step by step against a model FIFO. A TryPut that
+// reports false must leave the queue untouched — the "would block"
+// result is a distinct outcome, never a silent drop — and a TryPut
+// that reports true must deliver exactly that item in order.
+func TestWraparoundTable(t *testing.T) {
+	type step struct{ puts, gets int }
+	cases := []struct {
+		name    string
+		size    int
+		pattern []step
+		laps    int
+	}{
+		{"lockstep", 1, []step{{1, 1}}, 40},
+		{"pairs", 2, []step{{2, 2}}, 30},
+		{"overrun", 3, []step{{5, 2}, {3, 4}}, 20},
+		{"brim", 4, []step{{4, 4}}, 25},
+		{"drain-behind", 5, []step{{3, 1}, {1, 3}}, 25},
+		{"prime-stride", 7, []step{{5, 3}, {2, 4}}, 20},
+		{"gorge-and-drain", 4, []step{{9, 9}}, 15},
+	}
+	for _, tc := range cases {
+		for name, mk := range kinds(tc.size) {
+			if name == "buffered" {
+				continue // chunked capacity; covered by its own tests
+			}
+			t.Run(tc.name+"/"+name, func(t *testing.T) {
+				q := mk()
+				capacity := q.Cap() // mpmc widens 1-slot queues to 2
+				var model []int
+				next := 0
+				for lap := 0; lap < tc.laps; lap++ {
+					for _, st := range tc.pattern {
+						for i := 0; i < st.puts; i++ {
+							ok := q.TryPut(next)
+							if want := len(model) < capacity; ok != want {
+								t.Fatalf("lap %d: TryPut(%d) = %v with %d/%d queued",
+									lap, next, ok, len(model), capacity)
+							}
+							if ok {
+								model = append(model, next)
+								next++
+							}
+						}
+						for i := 0; i < st.gets; i++ {
+							v, ok := q.TryGet()
+							if want := len(model) > 0; ok != want {
+								t.Fatalf("lap %d: TryGet = (_, %v) with %d queued",
+									lap, ok, len(model))
+							}
+							if ok {
+								if v != model[0] {
+									t.Fatalf("lap %d: got %d, want %d", lap, v, model[0])
+								}
+								model = model[1:]
+							}
+						}
+					}
+				}
+				for len(model) > 0 {
+					v, ok := q.TryGet()
+					if !ok || v != model[0] {
+						t.Fatalf("drain: got (%d, %v), want (%d, true)", v, ok, model[0])
+					}
+					model = model[1:]
+				}
+				if v, ok := q.TryGet(); ok {
+					t.Fatalf("empty queue yielded %d", v)
+				}
+			})
+		}
+	}
+}
+
+// TestConcurrentFullEmptyRaces hammers tiny (capacity 2) queues so
+// producers constantly race the full boundary and consumers the empty
+// one, then verifies the transfer multiset: every item whose TryPut
+// reported true arrives exactly once, and rejected puts really
+// happened — the boundary was contended, not skated past. Run with
+// -race.
+func TestConcurrentFullEmptyRaces(t *testing.T) {
+	cases := []struct {
+		name                 string
+		producers, consumers int
+		mk                   func() nb
+	}{
+		{"spsc", 1, 1, func() nb { return queue.NewSPSC[int](2) }},
+		{"mpsc", 8, 1, func() nb { return queue.NewMPSC[int](2) }},
+		{"spmc", 1, 8, func() nb { return queue.NewSPMC[int](2) }},
+		{"mpmc", 8, 8, func() nb { return queue.NewMPMC[int](2) }},
+		{"locked", 8, 8, func() nb { return queue.NewLocked[int](2) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := tc.mk()
+			var fullHits, emptyHits atomic.Int64
+			put := func(v int) bool {
+				ok := q.TryPut(v)
+				if !ok {
+					fullHits.Add(1)
+				}
+				return ok
+			}
+			get := func() (int, bool) {
+				v, ok := q.TryGet()
+				if !ok {
+					emptyHits.Add(1)
+				}
+				return v, ok
+			}
+			checkTransfer(t, tc.producers, tc.consumers, 8000/tc.producers, put, get)
+			if fullHits.Load() == 0 {
+				t.Error("no put ever found the queue full; boundary untested")
+			}
+			if emptyHits.Load() == 0 {
+				t.Error("no get ever found the queue empty; boundary untested")
+			}
+		})
+	}
+}

@@ -31,7 +31,7 @@ import (
 // Socket table entry layout: bookkeeping head, then the receive ring
 // of fixed slots. Head and tail are free-running counts; slot index =
 // count & (sSlotCount-1). A slot carries the full frame: [payload
-// length][dst port][src port][payload].
+// length][dst port][src port][checksum][payload].
 const (
 	soUsed   = 0
 	soLocal  = 4
@@ -45,7 +45,8 @@ const (
 	sPLen      = 0
 	sDst       = 4
 	sSrc       = 8
-	sData      = 12
+	sSum       = 12
+	sData      = 16
 	sSlotCount = 8
 	sSlotBytes = 256
 
@@ -83,6 +84,43 @@ func (k *Kernel) buildSock(bcopy, wakeup, falloc uint32) (uint32, uint32, uint32
 	bv.MoveL(m68k.Imm(1), m68k.D(0))
 	bv.Rts()
 	sohval := bv.Link(m)
+
+	// socksum: the per-packet checksum layer. A big-endian long-wise
+	// sum over the payload, ragged tail zero-padded — the same sum the
+	// wire format carries, computed here as a separate subroutine
+	// reading the length back out of the slot (the layer boundary the
+	// synthesized path folds into its copy setup). sosend stores it,
+	// soreceive recomputes and compares. A5 = slot -> D0 = sum.
+	// Clobbers D1, A1.
+	bc := asmkit.New()
+	bc.MoveL(m68k.Ind(5), m68k.D(1)) // payload length
+	bc.Lea(m68k.Disp(sData, 5), 1)
+	bc.MoveL(m68k.D(1), m68k.D(0))
+	bc.AndL(m68k.Imm(3), m68k.D(0))
+	bc.Beq("aligned")
+	bc.MoveL(m68k.D(1), m68k.D(0)) // D0 = len; zero only data[len..roundup4(len))
+	bc.Label("pad")
+	bc.Clr(1, m68k.Idx(0, 1, 0, 1))
+	bc.AddL(m68k.Imm(1), m68k.D(0))
+	bc.Btst(m68k.Imm(0), m68k.D(0))
+	bc.Bne("pad")
+	bc.Btst(m68k.Imm(1), m68k.D(0))
+	bc.Bne("pad")
+	bc.Label("aligned")
+	bc.MoveL(m68k.D(1), m68k.D(0))
+	bc.AddL(m68k.Imm(3), m68k.D(0))
+	bc.LsrL(m68k.Imm(2), m68k.D(0)) // payload long count
+	bc.MoveL(m68k.D(0), m68k.D(1))
+	bc.Clr(4, m68k.D(0))
+	bc.TstL(m68k.D(1))
+	bc.Beq("done")
+	bc.SubL(m68k.Imm(1), m68k.D(1))
+	bc.Label("sum")
+	bc.AddL(m68k.PostInc(1), m68k.D(0))
+	bc.Dbra(1, "sum")
+	bc.Label("done")
+	bc.Rts()
+	socksum := bc.Link(m)
 
 	// syssock: D1 = local port, D2 = remote port -> D0 = fd. Two
 	// linear scans of the socket table (uniqueness, then a free
@@ -177,6 +215,9 @@ func (k *Kernel) buildSock(bcopy, wakeup, falloc uint32) (uint32, uint32, uint32
 	bw.MoveL(m68k.D(2), m68k.A(1))
 	bw.Lea(m68k.Disp(sData, 5), 3)
 	bw.Jsr(bcopy)
+	// The checksum layer, computed over the slot after the copy.
+	bw.Jsr(socksum)
+	bw.MoveL(m68k.D(0), m68k.Disp(sSum, 5))
 	// Publish under the lock, then unlock and wake readers.
 	bw.AddL(m68k.Imm(1), m68k.Disp(soHead, 4))
 	bw.Clr(1, m68k.Disp(soLock, 4))
@@ -213,6 +254,11 @@ func (k *Kernel) buildSock(bcopy, wakeup, falloc uint32) (uint32, uint32, uint32
 	br.Jsr(sohval)
 	br.TstL(m68k.D(0))
 	br.Beq("stale") // not ours: discard the slot
+	// The checksum layer: recompute and compare before trusting the
+	// payload; a mismatch is a corrupt slot, discarded like a stale one.
+	br.Jsr(socksum)
+	br.Cmp(4, m68k.Disp(sSum, 5), m68k.D(0))
+	br.Bne("stale")
 	// chunk = min(payload length, caller's buffer).
 	br.MoveL(m68k.Ind(5), m68k.D(6))
 	br.Cmp(4, m68k.D(3), m68k.D(6))

@@ -398,3 +398,45 @@ func TestSocketLoopbackThroughLayers(t *testing.T) {
 		t.Errorf("recv on empty ring = %d, want 0", got)
 	}
 }
+
+// Regression: the socksum layer zero-pads the ragged tail long before
+// summing. It must pad the slot copy beyond the payload, never the
+// payload bytes themselves — an earlier version cleared the whole
+// last long and silently truncated any length not a multiple of 4
+// (both ends zeroed identically, so the checksum still matched).
+func TestSocketRaggedPayloadSurvivesChecksum(t *testing.T) {
+	k := boot(t)
+	const res, wbuf, rbuf = 0x9000, 0x9300, 0x9700
+	msg := "Hello, Quamachine!" // 18 bytes: len%4 == 2
+	k.M.PokeBytes(wbuf, []byte(msg))
+	b := asmkit.New()
+	b.MoveL(m68k.Imm(5), m68k.D(1))
+	b.MoveL(m68k.Imm(9), m68k.D(2))
+	call(b, 97)
+	b.MoveL(m68k.Imm(9), m68k.D(1))
+	b.MoveL(m68k.Imm(5), m68k.D(2))
+	call(b, 97)
+	b.MoveL(m68k.Imm(0), m68k.D(1))
+	b.MoveL(m68k.Imm(wbuf), m68k.D(2))
+	b.MoveL(m68k.Imm(int32(len(msg))), m68k.D(3))
+	call(b, 4)
+	b.MoveL(m68k.D(0), m68k.Abs(res))
+	b.MoveL(m68k.Imm(1), m68k.D(1))
+	b.MoveL(m68k.Imm(rbuf), m68k.D(2))
+	b.MoveL(m68k.Imm(64), m68k.D(3))
+	call(b, 3)
+	b.MoveL(m68k.D(0), m68k.Abs(res+4))
+	exit(b)
+	if err := k.Run(b.Link(k.M), 5_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := int32(k.M.Peek(res, 4)); got != int32(len(msg)) {
+		t.Fatalf("send = %d, want %d", got, len(msg))
+	}
+	if got := int32(k.M.Peek(res+4, 4)); got != int32(len(msg)) {
+		t.Fatalf("recv = %d, want %d", got, len(msg))
+	}
+	if got := string(k.M.PeekBytes(rbuf, len(msg))); got != msg {
+		t.Errorf("payload %q, want %q", got, msg)
+	}
+}

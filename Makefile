@@ -6,11 +6,16 @@
 # detector; it is bounded (seconds) and deterministic, so a failure
 # replays. `make profile` runs one Table 1 program under the profiler
 # and emits a Chrome trace (load trace.json in about:tracing or
-# ui.perfetto.dev).
+# ui.perfetto.dev). `make bench-json` regenerates every table as
+# machine-readable BENCH_*.json artifacts in bench/out; `make
+# benchdiff` compares them against the committed bench/baseline set
+# (warn-only — drop -warn-only in the benchdiff target for a hard perf
+# gate). Refresh the baseline with `make bench-baseline` when a change
+# legitimately moves the numbers.
 
 GO ?= go
 
-.PHONY: tier1 race soak bench tables profile
+.PHONY: tier1 race soak bench tables profile bench-json benchdiff bench-baseline
 
 tier1:
 	$(GO) build ./...
@@ -18,7 +23,7 @@ tier1:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/queue/... ./internal/net/... ./internal/prof/...
+	$(GO) test -race ./internal/queue/... ./internal/net/... ./internal/prof/... ./internal/metrics/...
 
 soak:
 	$(GO) test -race -count 1 -timeout 120s \
@@ -34,3 +39,12 @@ tables:
 
 profile:
 	$(GO) run ./cmd/synbench -profile-run "open-close tty" -top 15 -trace-json trace.json
+
+bench-json:
+	$(GO) run ./cmd/synbench -json bench/out
+
+benchdiff:
+	$(GO) run ./cmd/benchdiff -warn-only bench/baseline bench/out
+
+bench-baseline:
+	$(GO) run ./cmd/synbench -json bench/baseline

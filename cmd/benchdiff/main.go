@@ -1,0 +1,71 @@
+// benchdiff compares two directories of BENCH_*.json artifacts (as
+// written by `synbench -json`) and flags rows that regressed past a
+// percent threshold in the direction their unit declares worse:
+// latency/instruction/size rows regress upward, throughput ("fr/s")
+// and speedup ("x") rows regress downward.
+//
+// Usage:
+//
+//	benchdiff [-threshold 10] [-warn-only] <baseline-dir> <new-dir>
+//
+// Exit status: 0 when no row regressed (or -warn-only), 1 on
+// regression, 2 on usage or artifact errors. CI runs it warn-only
+// against the committed bench/baseline artifacts; drop -warn-only to
+// turn the perf gate hard.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"synthesis/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its streams and exit status lifted out, so the
+// regression-gate behavior is testable in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 10,
+		"percent a row may move in its worse direction before it counts as a regression")
+	warnOnly := fs.Bool("warn-only", false, "report regressions but exit 0 anyway")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchdiff [flags] <baseline-dir> <new-dir>\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	base, err := bench.LoadArtifactDir(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: baseline: %v\n", err)
+		return 2
+	}
+	fresh, err := bench.LoadArtifactDir(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: new run: %v\n", err)
+		return 2
+	}
+	res := bench.DiffTables(base, fresh, *threshold)
+	fmt.Fprint(stdout, res.Format())
+	if res.Regressions > 0 {
+		if *warnOnly {
+			fmt.Fprintf(stderr, "benchdiff: %d regression(s) past %.1f%% (warn-only)\n",
+				res.Regressions, *threshold)
+			return 0
+		}
+		fmt.Fprintf(stderr, "benchdiff: %d regression(s) past %.1f%%\n", res.Regressions, *threshold)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"synthesis/internal/bench"
+)
+
+// writeSet writes one artifact set into a fresh directory.
+func writeSet(t *testing.T, tab bench.Table) string {
+	t.Helper()
+	dir := t.TempDir()
+	if _, err := bench.WriteArtifact(dir, "1", tab); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func baselineTable() bench.Table {
+	return bench.Table{
+		Title: "Table 1: system-call times",
+		Rows: []bench.Row{
+			{Name: "emulated read 1 byte", Paper: 12, Measured: 11.0, Unit: "usec"},
+			{Name: "loopback throughput", Paper: 1000, Measured: 950, Unit: "fr/s"},
+		},
+	}
+}
+
+// The acceptance criterion: a synthetically inflated latency row must
+// drive the exit status nonzero.
+func TestBenchdiffFlagsInflatedLatency(t *testing.T) {
+	baseDir := writeSet(t, baselineTable())
+
+	inflated := baselineTable()
+	inflated.Rows[0].Measured *= 1.5 // +50% latency
+	newDir := writeSet(t, inflated)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-threshold", "10", baseDir, newDir}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "emulated read 1 byte") {
+		t.Fatalf("report does not name the regressed row:\n%s", out.String())
+	}
+
+	// Same inflated run under -warn-only still reports but exits 0.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-threshold", "10", "-warn-only", baseDir, newDir}, &out, &errb); code != 0 {
+		t.Fatalf("warn-only exit = %d, want 0", code)
+	}
+	if !strings.Contains(errb.String(), "regression") {
+		t.Fatalf("warn-only did not report the regression:\n%s", errb.String())
+	}
+}
+
+func TestBenchdiffCleanRunExitsZero(t *testing.T) {
+	baseDir := writeSet(t, baselineTable())
+
+	improved := baselineTable()
+	improved.Rows[0].Measured *= 0.9 // latency down: better
+	improved.Rows[1].Measured *= 1.2 // throughput up: better
+	newDir := writeSet(t, improved)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{baseDir, newDir}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
+func TestBenchdiffThroughputDropRegresses(t *testing.T) {
+	baseDir := writeSet(t, baselineTable())
+
+	dropped := baselineTable()
+	dropped.Rows[1].Measured *= 0.5 // throughput halved
+	newDir := writeSet(t, dropped)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{baseDir, newDir}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s", code, out.String())
+	}
+}
+
+func TestBenchdiffUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"only-one-dir"}, &out, &errb); code != 2 {
+		t.Fatalf("bad argc exit = %d, want 2", code)
+	}
+	if code := run([]string{t.TempDir(), t.TempDir()}, &out, &errb); code != 2 {
+		t.Fatalf("empty dirs exit = %d, want 2", code)
+	}
+}

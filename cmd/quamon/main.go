@@ -16,6 +16,14 @@
 //	quamon -profile -trace-json trace.json
 //	quamon -table 2             # regenerate one bench table
 //	quamon -faults spurious=7:20000,buserr=disk@3 -fault-seed 7
+//	quamon -watch               # live metrics: loopback traffic, per-window deltas
+//	quamon -watch -interval-us 1000 -windows 20 -prom metrics.prom
+//
+// -watch boots the full kernel (network, UNIX emulator, watchdog),
+// drives a loopback socket workload, and streams metric deltas every
+// -interval-us of simulated time: counter rates, histogram
+// percentiles, recovery events. -metrics-json and -prom write the
+// final snapshot (use "-" for stdout).
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"synthesis/internal/kernel"
 	"synthesis/internal/kio"
 	"synthesis/internal/m68k"
+	"synthesis/internal/metrics"
 	"synthesis/internal/synth"
 	"synthesis/internal/unixemu"
 )
@@ -45,6 +54,11 @@ func main() {
 	iters := flag.Int("iters", 200, "loop count for -table 1")
 	faults := flag.String("faults", "", "inject faults into the demo or table machines (see grammar below)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the -faults schedule; a seed replays exactly")
+	watch := flag.Bool("watch", false, "live-monitor a loopback socket workload, streaming metric deltas")
+	intervalUS := flag.Float64("interval-us", 2000, "simulated microseconds per -watch sampling window")
+	windows := flag.Int("windows", 8, "number of -watch windows before stopping")
+	metricsJSON := flag.String("metrics-json", "", "write the final metrics snapshot as JSON here (\"-\" for stdout)")
+	promOut := flag.String("prom", "", "write the final metrics snapshot as Prometheus text here (\"-\" for stdout)")
 	defaultUsage := flag.Usage
 	flag.Usage = func() {
 		defaultUsage()
@@ -57,6 +71,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "quamon: %v\n%s\n", err, fault.SpecHelp)
 			os.Exit(2)
 		}
+	}
+
+	if *watch {
+		os.Exit(runWatch(*intervalUS, *windows, *faults, *faultSeed, *metricsJSON, *promOut))
 	}
 
 	if *table != "" {
@@ -74,10 +92,12 @@ func main() {
 
 	cfg := m68k.Sun3Config()
 	cfg.TraceDepth = 4096
+	reg := metrics.New()
 	k := kernel.Boot(kernel.Config{
 		Machine:         cfg,
 		ChargeSynthesis: true,
 		Profile:         *profile || *traceJSON != "",
+		Metrics:         reg,
 	})
 	io := kio.Install(k)
 	unixemu.Install(k)
@@ -155,6 +175,10 @@ func main() {
 			f.Close()
 			fmt.Printf("trace written to %s (load in about:tracing or ui.perfetto.dev)\n\n", *traceJSON)
 		}
+	}
+
+	if rc := exportSnapshot(reg, *metricsJSON, *promOut); rc != 0 {
+		os.Exit(rc)
 	}
 
 	fmt.Printf("execution trace (last %d entries):\n", *traceN)

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+
+	"synthesis/internal/asmkit"
+	"synthesis/internal/fault"
+	"synthesis/internal/kernel"
+	"synthesis/internal/kio"
+	"synthesis/internal/m68k"
+	"synthesis/internal/metrics"
+	"synthesis/internal/unixemu"
+)
+
+// Live monitoring mode: boot a full kernel (network, UNIX emulator,
+// watchdog), drive a loopback socket workload, and sample the metrics
+// registry on a VM-time interval — the chunked Run makes the machine
+// pause every intervalUS simulated microseconds so a snapshot delta
+// can be streamed: counter rates, histogram percentiles, recovery
+// events. Everything is keyed to Machine.Clock() cycles; µs = cycles /
+// ClockMHz (the snapshot carries both).
+
+// trafficPorts is the loopback pair the watch workload drives.
+var trafficPorts = [2]uint32{5, 9}
+
+const (
+	watchBufA    = 0xB000
+	watchBufB    = 0xD000
+	watchPayload = 128
+)
+
+// buildTraffic emits the workload: open the loopback pair, then
+// exchange datagrams forever. The monitor stops it by simply not
+// running the machine any further.
+func buildTraffic(b *asmkit.Builder) {
+	call := func(no int32) {
+		b.MoveL(m68k.Imm(no), m68k.D(0))
+		b.Trap(0)
+	}
+	open := func(local, remote int32) {
+		b.MoveL(m68k.Imm(local), m68k.D(1))
+		b.MoveL(m68k.Imm(remote), m68k.D(2))
+		call(unixemu.SysSocket)
+	}
+	open(int32(trafficPorts[0]), int32(trafficPorts[1]))
+	b.MoveL(m68k.D(0), m68k.D(6))
+	open(int32(trafficPorts[1]), int32(trafficPorts[0]))
+	b.MoveL(m68k.D(0), m68k.D(7))
+	b.Label("loop")
+	b.MoveL(m68k.D(6), m68k.D(1))
+	b.MoveL(m68k.Imm(watchBufA), m68k.D(2))
+	b.MoveL(m68k.Imm(watchPayload), m68k.D(3))
+	call(unixemu.SysWrite)
+	b.MoveL(m68k.D(7), m68k.D(1))
+	b.MoveL(m68k.Imm(watchBufB), m68k.D(2))
+	b.MoveL(m68k.Imm(watchPayload), m68k.D(3))
+	call(unixemu.SysRead)
+	b.Bra("loop")
+}
+
+// runWatch is the -watch entry point; returns the process exit code.
+func runWatch(intervalUS float64, windows int, faults string, faultSeed int64, metricsJSON, promOut string) int {
+	reg := metrics.New()
+	cfg := m68k.Sun3Config()
+	k := kernel.Boot(kernel.Config{
+		Machine:         cfg,
+		ChargeSynthesis: true,
+		Profile:         true, // Boot publishes prof.irq.* through reg
+		Metrics:         reg,
+	})
+	io := kio.Install(k)
+	unixemu.Install(k)
+	io.InstallWatchdog(kio.DefaultWatchdogConfig())
+	if faults != "" {
+		inj, _ := fault.FromSpec(faults, faultSeed) // validated by the caller
+		inj.Attach(k.M)
+	}
+	for i := uint32(0); i < watchPayload; i += 4 {
+		k.M.Poke(watchBufA+i, 4, 0x5a5a0000+i)
+	}
+
+	b := asmkit.New()
+	buildTraffic(b)
+	entry := b.Link(k.M)
+	if k.Prof != nil {
+		k.Prof.RegisterRegion("watch.traffic", entry, b.Len())
+	}
+	th := k.SpawnKernel("traffic", entry)
+	k.Start(th)
+
+	intervalCycles := uint64(intervalUS * cfg.ClockMHz)
+	if intervalCycles == 0 {
+		intervalCycles = 1
+	}
+	fmt.Printf("watching %d windows of %.0f µs simulated (%d cycles at %.0f MHz)\n\n",
+		windows, intervalUS, intervalCycles, cfg.ClockMHz)
+
+	prev := reg.Snapshot()
+	for w := 1; w <= windows; w++ {
+		err := k.Run(intervalCycles)
+		snap := reg.Snapshot()
+		printWindow(w, snap, snap.Delta(prev))
+		prev = snap
+		if err == nil {
+			fmt.Println("workload exited")
+			break
+		}
+		if !errors.Is(err, m68k.ErrCycleLimit) {
+			fmt.Fprintf(os.Stderr, "quamon: watch: %v\n", err)
+			return 1
+		}
+	}
+	return exportSnapshot(reg, metricsJSON, promOut)
+}
+
+// printWindow streams one delta: the busiest counters as rates, any
+// nonzero gauges, and percentile lines for histograms that saw
+// observations this window.
+func printWindow(w int, snap metrics.Snapshot, d metrics.Delta) {
+	fmt.Printf("window %d: t=%.0f µs (+%.0f µs, %d cycles)\n",
+		w, snap.Micros(), d.Micros(), d.Cycles)
+	type kv struct {
+		name string
+		n    uint64
+	}
+	var hot []kv
+	for n, v := range d.Counters {
+		if v > 0 {
+			hot = append(hot, kv{n, v})
+		}
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].n != hot[j].n {
+			return hot[i].n > hot[j].n
+		}
+		return hot[i].name < hot[j].name
+	})
+	const maxRows = 14
+	shown := hot
+	if len(shown) > maxRows {
+		shown = shown[:maxRows]
+	}
+	for _, c := range shown {
+		fmt.Printf("  %-36s +%-10d %12.0f /s\n", c.name, c.n, d.Rate(c.name))
+	}
+	if len(hot) > maxRows {
+		fmt.Printf("  (%d more nonzero counters)\n", len(hot)-maxRows)
+	}
+	var gnames []string
+	for n, v := range d.Gauges {
+		if v != 0 {
+			gnames = append(gnames, n)
+		}
+	}
+	sort.Strings(gnames)
+	for _, n := range gnames {
+		fmt.Printf("  %-36s = %g\n", n, d.Gauges[n])
+	}
+	var hnames []string
+	for n, h := range d.Hists {
+		if h.Count > 0 {
+			hnames = append(hnames, n)
+		}
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		h := d.Hists[n]
+		fmt.Printf("  %-36s n=%-8d p50=%-8.0f p99=%-8.0f max=%d\n",
+			n, h.Count, h.Quantile(0.5), h.Quantile(0.99), h.Max)
+	}
+	if ev := d.Counters["kio.net.recovery_events"]; ev > 0 {
+		fmt.Printf("  ** %d recovery event(s) this window\n", ev)
+	}
+	fmt.Println()
+}
+
+// exportSnapshot writes the final snapshot in the requested formats
+// ("-" selects stdout).
+func exportSnapshot(reg *metrics.Registry, metricsJSON, promOut string) int {
+	write := func(path, what string, emit func(f *os.File) error) int {
+		f := os.Stdout
+		if path != "-" {
+			var err error
+			f, err = os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "quamon: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+		}
+		if err := emit(f); err != nil {
+			fmt.Fprintf(os.Stderr, "quamon: %s export: %v\n", what, err)
+			return 1
+		}
+		if path != "-" {
+			fmt.Printf("%s snapshot written to %s\n", what, path)
+		}
+		return 0
+	}
+	snap := reg.Snapshot()
+	if metricsJSON != "" {
+		if rc := write(metricsJSON, "metrics JSON", func(f *os.File) error {
+			return snap.WriteJSON(f)
+		}); rc != 0 {
+			return rc
+		}
+	}
+	if promOut != "" {
+		if rc := write(promOut, "Prometheus", func(f *os.File) error {
+			return snap.WritePrometheus(f)
+		}); rc != 0 {
+			return rc
+		}
+	}
+	return 0
+}

@@ -14,8 +14,13 @@
 //	synbench -table 1                 # one table (see -table help for names)
 //	synbench -iters 500               # heavier Table 1 loops
 //	synbench -table 1 -profile        # Table 1 with attribution coverage row
+//	synbench -json bench/out          # also write BENCH_*.json artifacts
 //	synbench -profile-run "open-close tty" -top 15 -trace-json trace.json
 //	synbench -table 7 -faults drop=0.2,spurious=7:50000 -fault-seed 42
+//
+// The -json artifacts are the machine-readable side of the tables:
+// one BENCH_<table>.json per table run, comparable across runs with
+// cmd/benchdiff (see `make bench-json` / `make benchdiff`).
 package main
 
 import (
@@ -38,6 +43,7 @@ func main() {
 			strings.Join(bench.Table1ProgramNames(), ", "))
 	top := flag.Int("top", 10, "regions to show in the -profile-run report")
 	traceJSON := flag.String("trace-json", "", "write the -profile-run Chrome trace (about:tracing JSON) here")
+	jsonDir := flag.String("json", "", "also write each table as a BENCH_*.json artifact into this directory")
 	faults := flag.String("faults", "", "inject faults into every machine the tables boot (see grammar below)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the -faults schedule; a seed replays exactly")
 	defaultUsage := flag.Usage
@@ -100,5 +106,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(t.String())
+		if *jsonDir != "" {
+			path, err := bench.WriteArtifact(*jsonDir, name, t)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "synbench: table %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("artifact written to %s\n\n", path)
+		}
 	}
 }

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Perf-regression comparison between two artifact directories: the
+// committed baseline and a fresh run. Each row is compared by percent
+// change in the direction its unit declares worse — latency,
+// instruction and size units regress upward, throughput and speedup
+// units regress downward. Rows present on only one side are reported
+// but never counted as regressions (tables grow across PRs).
+
+// higherIsBetter classifies a row's unit for regression direction.
+// Throughput ("fr/s") and speedup ratios ("x") improve upward;
+// everything else (usec, instr, bytes, counts) improves downward.
+func higherIsBetter(unit string) bool {
+	switch unit {
+	case "fr/s", "x":
+		return true
+	}
+	return false
+}
+
+// RowDiff is one compared row.
+type RowDiff struct {
+	Table, Row string
+	Unit       string
+	Base, New  float64
+	DeltaPct   float64 // signed percent change, worse direction positive
+	Regressed  bool
+}
+
+// DiffResult is the full comparison.
+type DiffResult struct {
+	ThresholdPct float64
+	Rows         []RowDiff
+	Regressions  int
+	OnlyBase     []string // "table/row" present only in the baseline
+	OnlyNew      []string // "table/row" present only in the new run
+}
+
+// LoadArtifactDir decodes every BENCH_*.json in dir, keyed by
+// registry name.
+func LoadArtifactDir(dir string) (map[string]Table, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("bench: no BENCH_*.json artifacts in %s", dir)
+	}
+	tables := make(map[string]Table, len(paths))
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		name, t, err := DecodeTableJSON(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		tables[name] = t
+	}
+	return tables, nil
+}
+
+// DiffTables compares a fresh run against a baseline. A row regresses
+// when it moved more than thresholdPct in its unit's worse direction;
+// DeltaPct is normalized so positive always means worse.
+func DiffTables(base, fresh map[string]Table, thresholdPct float64) DiffResult {
+	res := DiffResult{ThresholdPct: thresholdPct}
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, tn := range names {
+		bt := base[tn]
+		nt, ok := fresh[tn]
+		if !ok {
+			for _, r := range bt.Rows {
+				res.OnlyBase = append(res.OnlyBase, tn+"/"+r.Name)
+			}
+			continue
+		}
+		newRows := make(map[string]Row, len(nt.Rows))
+		for _, r := range nt.Rows {
+			newRows[r.Name] = r
+		}
+		for _, br := range bt.Rows {
+			nr, ok := newRows[br.Name]
+			if !ok {
+				res.OnlyBase = append(res.OnlyBase, tn+"/"+br.Name)
+				continue
+			}
+			delete(newRows, br.Name)
+			d := RowDiff{Table: tn, Row: br.Name, Unit: br.Unit, Base: br.Measured, New: nr.Measured}
+			if br.Measured != 0 {
+				pct := 100 * (nr.Measured - br.Measured) / br.Measured
+				if higherIsBetter(br.Unit) {
+					pct = -pct
+				}
+				d.DeltaPct = pct
+				d.Regressed = pct > thresholdPct
+			} else if nr.Measured != 0 {
+				// A zero baseline that became nonzero counts as a
+				// regression only when lower is better (e.g. error counts).
+				d.DeltaPct = 100
+				d.Regressed = !higherIsBetter(br.Unit)
+			}
+			if d.Regressed {
+				res.Regressions++
+			}
+			res.Rows = append(res.Rows, d)
+		}
+		for _, r := range nt.Rows {
+			if _, left := newRows[r.Name]; left {
+				res.OnlyNew = append(res.OnlyNew, tn+"/"+r.Name)
+			}
+		}
+	}
+	for n, t := range fresh {
+		if _, ok := base[n]; !ok {
+			for _, r := range t.Rows {
+				res.OnlyNew = append(res.OnlyNew, n+"/"+r.Name)
+			}
+		}
+	}
+	sort.Strings(res.OnlyNew)
+	return res
+}
+
+// Format renders the comparison, regressions first.
+func (res DiffResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-42s %12s %12s %9s %-6s\n",
+		"table", "row", "base", "new", "delta", "unit")
+	rows := append([]RowDiff(nil), res.Rows...)
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Regressed != rows[j].Regressed {
+			return rows[i].Regressed
+		}
+		return rows[i].DeltaPct > rows[j].DeltaPct
+	})
+	for _, d := range rows {
+		flag := " "
+		if d.Regressed {
+			flag = "!"
+		}
+		fmt.Fprintf(&b, "%-12s %-42s %12.2f %12.2f %+8.1f%% %-6s %s\n",
+			d.Table, d.Row, d.Base, d.New, d.DeltaPct, d.Unit, flag)
+	}
+	for _, n := range res.OnlyBase {
+		fmt.Fprintf(&b, "only in baseline: %s\n", n)
+	}
+	for _, n := range res.OnlyNew {
+		fmt.Fprintf(&b, "only in new run:  %s\n", n)
+	}
+	fmt.Fprintf(&b, "%d rows compared, %d regressed (threshold %.1f%%, worse direction positive)\n",
+		len(res.Rows), res.Regressions, res.ThresholdPct)
+	return b.String()
+}

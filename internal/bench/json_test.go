@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestNamesOrdering(t *testing.T) {
+	want := []string{"1", "2", "3", "4", "5", "6", "7", "ablations", "pathlen", "size"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "duplicate table registration") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	Register("1", fixed(Table3))
+}
+
+func TestArtifactName(t *testing.T) {
+	cases := map[string]string{
+		"1":         "BENCH_table1.json",
+		"7":         "BENCH_table7.json",
+		"pathlen":   "BENCH_pathlen.json",
+		"ablations": "BENCH_ablations.json",
+	}
+	for name, want := range cases {
+		if got := ArtifactName(name); got != want {
+			t.Errorf("ArtifactName(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestTableJSONRoundTripSynthetic(t *testing.T) {
+	in := Table{
+		Title: "Table X: synthetic",
+		Note:  "a note",
+		Rows: []Row{
+			{Name: "emulated read", Paper: 12, Measured: 11.5, Unit: "usec", Note: "n=100"},
+			{Name: "zero paper", Measured: 3, Unit: "instr"},
+			{Name: "throughput", Paper: 1000, Measured: 1100, Unit: "fr/s"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := EncodeTableJSON(&buf, "x", in); err != nil {
+		t.Fatal(err)
+	}
+	name, out, err := DecodeTableJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "x" {
+		t.Fatalf("decoded name %q, want %q", name, "x")
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestDecodeRejectsWrongSchema(t *testing.T) {
+	if _, _, err := DecodeTableJSON(strings.NewReader(`{"schema":99,"name":"x","title":"t","rows":[]}`)); err == nil {
+		t.Fatal("schema 99 accepted")
+	}
+}
+
+// TestRegisteredTablesRoundTrip runs every registered table briefly
+// and proves it survives the JSON encode/decode losslessly — the
+// guarantee benchdiff depends on.
+func TestRegisteredTablesRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every bench table")
+	}
+	dir := t.TempDir()
+	for _, name := range Names() {
+		tab, err := Run(name, RunConfig{Iters: 25})
+		if err != nil {
+			t.Fatalf("table %s: %v", name, err)
+		}
+		path, err := WriteArtifact(dir, name, tab)
+		if err != nil {
+			t.Fatalf("table %s: %v", name, err)
+		}
+		if filepath.Base(path) != ArtifactName(name) {
+			t.Fatalf("table %s written to %s", name, path)
+		}
+	}
+	back, err := LoadArtifactDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(Names()) {
+		t.Fatalf("loaded %d artifacts, want %d", len(back), len(Names()))
+	}
+	for name, tab := range back {
+		again, err := Run(name, RunConfig{Iters: 25})
+		if err != nil {
+			t.Fatalf("table %s rerun: %v", name, err)
+		}
+		if tab.Title != again.Title || len(tab.Rows) != len(again.Rows) {
+			t.Fatalf("table %s: artifact shape diverged from a rerun", name)
+		}
+	}
+}
+
+func TestDiffTables(t *testing.T) {
+	base := map[string]Table{
+		"1": {Title: "t1", Rows: []Row{
+			{Name: "lat", Measured: 10, Unit: "usec"},
+			{Name: "tput", Measured: 1000, Unit: "fr/s"},
+			{Name: "gone", Measured: 1, Unit: "usec"},
+		}},
+	}
+	fresh := map[string]Table{
+		"1": {Title: "t1", Rows: []Row{
+			{Name: "lat", Measured: 13, Unit: "usec"},    // +30% worse
+			{Name: "tput", Measured: 1200, Unit: "fr/s"}, // better
+			{Name: "added", Measured: 2, Unit: "usec"},
+		}},
+	}
+	res := DiffTables(base, fresh, 10)
+	if res.Regressions != 1 {
+		t.Fatalf("Regressions = %d, want 1\n%s", res.Regressions, res.Format())
+	}
+	for _, d := range res.Rows {
+		switch d.Row {
+		case "lat":
+			if !d.Regressed || d.DeltaPct < 29 || d.DeltaPct > 31 {
+				t.Errorf("lat: %+v", d)
+			}
+		case "tput":
+			if d.Regressed || d.DeltaPct > 0 {
+				t.Errorf("tput should improve downward-normalized: %+v", d)
+			}
+		}
+	}
+	if len(res.OnlyBase) != 1 || res.OnlyBase[0] != "1/gone" {
+		t.Errorf("OnlyBase = %v", res.OnlyBase)
+	}
+	if len(res.OnlyNew) != 1 || res.OnlyNew[0] != "1/added" {
+		t.Errorf("OnlyNew = %v", res.OnlyNew)
+	}
+	// Throughput collapse must regress too.
+	res = DiffTables(base, map[string]Table{
+		"1": {Title: "t1", Rows: []Row{{Name: "tput", Measured: 500, Unit: "fr/s"}}},
+	}, 10)
+	if res.Regressions != 1 {
+		t.Fatalf("throughput drop not flagged:\n%s", res.Format())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"synthesis/internal/alloc"
 	"synthesis/internal/fs"
 	"synthesis/internal/m68k"
+	"synthesis/internal/metrics"
 	"synthesis/internal/prof"
 	"synthesis/internal/synth"
 )
@@ -21,6 +22,13 @@ type Kernel struct {
 	// Prof is the attached measurement plane (nil unless
 	// Config.Profile was set).
 	Prof *prof.Profiler
+
+	// Metrics is the attached observability plane (nil unless
+	// Config.Metrics was set). All kernel health counters — spurious
+	// IRQs, thread faults/exits, live-thread gauge — are served
+	// through it; a nil registry hands out nil handles, so the
+	// disabled cost is one inlined nil check per event.
+	Metrics *metrics.Registry
 
 	Timer *m68k.Timer
 	TTY   *m68k.TTY
@@ -63,6 +71,12 @@ type Kernel struct {
 	// Faults logs threads reaped by the bus-error trap: the kernel
 	// degrades instead of dying, and this is the post-mortem trail.
 	Faults []FaultRecord
+
+	// Metric handles (nil when Metrics is nil; all nil-safe).
+	mFaults  *metrics.Counter
+	mExits   *metrics.Counter
+	mCreates *metrics.Counter
+	mPanics  *metrics.Counter
 
 	// OpenHook lets the I/O layer (kio package) implement the open
 	// bookkeeping + code synthesis. Wired by kio.Install.
@@ -130,6 +144,11 @@ type Config struct {
 	Profile bool
 	// ProfileRing bounds the trace-event ring (0 = default depth).
 	ProfileRing int
+	// Metrics attaches an observability registry: kernel, I/O and
+	// synthesis counters register into it, and routines built with
+	// Counted() get per-quaject invocation cells. Nil (the default)
+	// disables the plane at zero cost.
+	Metrics *metrics.Registry
 }
 
 // Boot creates a machine, devices, heap and file system, synthesizes
@@ -153,6 +172,14 @@ func Boot(cfg Config) *Kernel {
 		k.C.Regions = k.Prof
 	}
 	k.Heap = alloc.New(HeapBase, cfg.Machine.MemSize-HeapBase)
+	if cfg.Metrics != nil {
+		k.wireMetrics(cfg.Metrics)
+		if k.Prof != nil {
+			// Both planes on: the profiler publishes its IRQ-latency
+			// histograms through the registry as well.
+			k.Prof.PublishTo(cfg.Metrics)
+		}
+	}
 	k.Timer = m68k.NewTimer(m)
 	k.TTY = m68k.NewTTY(m)
 	k.Disk = m68k.NewDisk(m, cfg.DiskBlocks)
@@ -369,6 +396,7 @@ func (k *Kernel) registerServices() {
 	m.RegisterService(SvcPanic, func(mm *m68k.Machine) uint64 {
 		k.PanicMsg = fmt.Sprintf("unhandled exception, D0=%#x PC=%d cur=%#x",
 			mm.D[0], mm.PC, k.CurTTE())
+		k.mPanics.Inc()
 		mm.Code[mm.PC] = m68k.Instr{Op: m68k.HALT} // stop right here
 		return 0
 	})
@@ -382,6 +410,7 @@ func (k *Kernel) registerServices() {
 			t.Dead = true
 			t.Linked = false
 		}
+		k.mExits.Inc()
 		live := k.g(GLiveThreads)
 		if live > 0 {
 			live--
@@ -405,6 +434,7 @@ func (k *Kernel) registerServices() {
 			t.Linked = false
 		}
 		k.Faults = append(k.Faults, rec)
+		k.mFaults.Inc()
 		if live := k.g(GLiveThreads); live > 0 {
 			k.setg(GLiveThreads, live-1)
 		}

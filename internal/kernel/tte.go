@@ -53,6 +53,7 @@ func (k *Kernel) initThread(tte uint32, name string, ubase, ulimit uint32, kerne
 		KStack:   tte + TTESize + kstackSize,
 	}
 	k.Threads[tte] = t
+	k.mCreates.Inc()
 
 	m.Poke(tte+TTEUBase, 4, ubase)
 	m.Poke(tte+TTEULimit, 4, ulimit)

@@ -1,0 +1,77 @@
+package kio
+
+import (
+	"fmt"
+
+	"synthesis/internal/metrics"
+)
+
+// kio's half of the observability plane. Every counter in this
+// package is maintained by synthesized machine code in VM memory (the
+// queue cells NQGauge/NQDrops/NQErrs/NQTxFail, the handler's stack
+// drop cell), so the metrics plane never adds an instruction to a hot
+// path: the registry holds closures that read the cells only at
+// snapshot time. Only the watchdog, whose policy already runs as host
+// code behind a KCALL, bumps atomic handles directly.
+//
+// Naming scheme (documented in README): kio.sock.<port>.<what> for
+// per-socket metrics, kio.net.<what> for the shared receive path.
+// Per-socket names are unregistered when the socket closes, so a
+// snapshot never mixes cells from a freed queue.
+
+// reg returns the registry wired at Boot, or nil (all registration
+// below no-ops on a nil registry).
+func (io *IO) reg() *metrics.Registry { return io.K.Metrics }
+
+func sockPrefix(local uint32) string {
+	return fmt.Sprintf("kio.sock.%d.", local)
+}
+
+// registerSockMetrics serves the socket's queue cells through the
+// registry. The closures capture the queue base; they are dropped by
+// unregisterSockMetrics before the queue is abandoned.
+func (io *IO) registerSockMetrics(s *NSocket) {
+	reg := io.reg()
+	if reg == nil {
+		return
+	}
+	m := io.K.M
+	q := s.Queue
+	p := sockPrefix(s.Local)
+	reg.Sample(p+"rx_frames", func() uint64 { return uint64(m.Peek(q+NQGauge, 4)) })
+	reg.Sample(p+"rx_drops", func() uint64 { return uint64(m.Peek(q+NQDrops, 4)) })
+	reg.Sample(p+"rx_errs", func() uint64 { return uint64(m.Peek(q+NQErrs, 4)) })
+	reg.Sample(p+"tx_fail", func() uint64 { return uint64(m.Peek(q+NQTxFail, 4)) })
+	reg.SampleGauge(p+"queue_depth", func() float64 {
+		return float64(m.Peek(q+NQHead, 4) - m.Peek(q+NQTail, 4))
+	})
+}
+
+// unregisterSockMetrics drops the socket's sampled metrics when it
+// closes.
+func (io *IO) unregisterSockMetrics(s *NSocket) {
+	if reg := io.reg(); reg != nil {
+		reg.UnregisterPrefix(sockPrefix(s.Local))
+	}
+}
+
+// registerNetMetrics serves the shared receive-path cells; called once
+// from installNet.
+func (io *IO) registerNetMetrics() {
+	reg := io.reg()
+	if reg == nil {
+		return
+	}
+	m := io.K.M
+	drop := io.netDropCell
+	reg.Sample("kio.net.stack_drops", func() uint64 { return uint64(m.Peek(drop, 4)) })
+}
+
+// wireWatchdogMetrics attaches the watchdog's host-side counters and
+// mode gauges. Nil-registry handles make every bump a no-op.
+func (w *Watchdog) wireWatchdogMetrics() {
+	reg := w.io.reg()
+	w.mEvents = reg.Counter("kio.net.recovery_events")
+	w.mThrottled = reg.Gauge("kio.net.throttled")
+	w.mGeneric = reg.Gauge("kio.net.generic_fallback")
+}

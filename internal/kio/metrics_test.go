@@ -1,0 +1,178 @@
+package kio_test
+
+import (
+	"strings"
+	"testing"
+
+	"synthesis/internal/kernel"
+	"synthesis/internal/kio"
+	"synthesis/internal/m68k"
+	"synthesis/internal/metrics"
+	"synthesis/internal/synth"
+)
+
+// bootMetrics is boot with the observability plane wired from the
+// start, so the counter plane stitches invocation counters into the
+// synthesized socket routines.
+func bootMetrics(t *testing.T) (*kernel.Kernel, *kio.IO, *metrics.Registry) {
+	t.Helper()
+	reg := metrics.New()
+	k := kernel.Boot(kernel.Config{
+		Machine: m68k.Config{MemSize: 1 << 20, TraceDepth: 256},
+		Metrics: reg,
+	})
+	io := kio.Install(k)
+	return k, io, reg
+}
+
+// TestSocketMetricsServeQueueCells proves the acceptance criterion for
+// the kio counters: the registry's kio.sock.<port>.* sampled metrics
+// read the very queue cells the synthesized code maintains, and the
+// counter plane's synth.<region>.calls metrics count routine entries.
+func TestSocketMetricsServeQueueCells(t *testing.T) {
+	k, io, reg := bootMetrics(t)
+	const wbuf, rbuf = 0x9300, 0x9700
+	k.M.PokeBytes(wbuf, []byte("ping!"))
+	const rounds = 4
+	prog := k.C.Synthesize(nil, "main", nil, func(e *synth.Emitter) {
+		emitSock(e, 5, 9) // fd 0
+		emitSock(e, 9, 5) // fd 1
+		e.MoveL(m68k.Imm(rounds), m68k.D(7))
+		e.Label("loop")
+		e.MoveL(m68k.Imm(wbuf), m68k.D(1))
+		e.MoveL(m68k.Imm(5), m68k.D(2))
+		e.Trap(kernel.TrapWrite + 0)
+		e.MoveL(m68k.Imm(rbuf), m68k.D(1))
+		e.MoveL(m68k.Imm(64), m68k.D(2))
+		e.Trap(kernel.TrapRead + 1)
+		e.SubL(m68k.Imm(1), m68k.D(7))
+		e.Bne("loop")
+		exitSeq(e)
+	})
+	th := k.SpawnKernel("main", prog)
+	run(t, k, th, 20_000_000)
+
+	snap := reg.Snapshot()
+	if snap.Cycles == 0 || snap.ClockMHz == 0 {
+		t.Fatalf("snapshot has no time base: %+v cycles=%d", snap.ClockMHz, snap.Cycles)
+	}
+
+	// The registry must serve the same values as the raw queue cells.
+	var sock9 *kio.NSocket
+	for _, s := range io.NetSockets() {
+		if s.Local == 9 {
+			sock9 = s
+		}
+	}
+	if sock9 == nil {
+		t.Fatal("socket 9 not open")
+	}
+	cell := uint64(k.M.Peek(sock9.Queue+kio.NQGauge, 4))
+	if cell != rounds {
+		t.Fatalf("queue gauge cell = %d, want %d", cell, rounds)
+	}
+	if got := snap.Counters["kio.sock.9.rx_frames"]; got != cell {
+		t.Errorf("kio.sock.9.rx_frames = %d, cell = %d", got, cell)
+	}
+	for _, name := range []string{"kio.sock.9.tx_fail", "kio.sock.9.rx_errs", "kio.sock.9.rx_drops"} {
+		if got, ok := snap.Counters[name]; !ok {
+			t.Errorf("%s not registered", name)
+		} else if got != 0 {
+			t.Errorf("%s = %d, want 0 on a clean run", name, got)
+		}
+	}
+	if depth, ok := snap.Gauges["kio.sock.9.queue_depth"]; !ok {
+		t.Error("kio.sock.9.queue_depth not registered")
+	} else if depth != 0 {
+		t.Errorf("queue depth = %g after a drained run", depth)
+	}
+
+	// Stitched invocation counters: send and recv ran `rounds` times,
+	// the receive interrupt at least that often.
+	if got := snap.Counters["synth.kio.sock5.send.calls"]; got != rounds {
+		t.Errorf("synth.kio.sock5.send.calls = %d, want %d", got, rounds)
+	}
+	if got := snap.Counters["synth.kio.sock9.recv.calls"]; got != rounds {
+		t.Errorf("synth.kio.sock9.recv.calls = %d, want %d", got, rounds)
+	}
+	if got := snap.Counters["synth.kio.net_intr.calls"]; got < rounds {
+		t.Errorf("synth.kio.net_intr.calls = %d, want >= %d", got, rounds)
+	}
+	// The handler was resynthesized at install and on each of the two
+	// opens; the counter survives resynthesis because the plane keeps
+	// one cell per region name.
+	if got := snap.Counters["synth.kio.net_intr.resynth"]; got != 3 {
+		t.Errorf("synth.kio.net_intr.resynth = %d, want 3", got)
+	}
+	if got := snap.Counters["kernel.spurious_irq"]; got != 0 {
+		t.Errorf("kernel.spurious_irq = %d", got)
+	}
+}
+
+// TestSocketCloseUnregistersMetrics proves the per-socket family is
+// torn down with the socket, so later snapshots never read a freed
+// queue.
+func TestSocketCloseUnregistersMetrics(t *testing.T) {
+	k, _, reg := bootMetrics(t)
+	prog := k.C.Synthesize(nil, "main", nil, func(e *synth.Emitter) {
+		emitSock(e, 5, 9) // fd 0
+		e.MoveL(m68k.Imm(kernel.SysClose), m68k.D(0))
+		e.MoveL(m68k.Imm(0), m68k.D(1))
+		e.Trap(kernel.TrapSys)
+		exitSeq(e)
+	})
+	th := k.SpawnKernel("main", prog)
+	run(t, k, th, 20_000_000)
+	for _, n := range reg.Names() {
+		if strings.HasPrefix(n, "kio.sock.5.") {
+			t.Errorf("metric %s survived socket close", n)
+		}
+	}
+}
+
+// TestDisabledPlaneGeneratesIdenticalCode is the zero-cost guarantee
+// at the machine-code level: without a registry the Counted() option
+// is inert and the synthesized socket routines are byte-for-byte the
+// code a benchmark measures.
+func TestDisabledPlaneGeneratesIdenticalCode(t *testing.T) {
+	build := func(reg *metrics.Registry) (*kernel.Kernel, uint32) {
+		k := kernel.Boot(kernel.Config{
+			Machine: m68k.Config{MemSize: 1 << 20, TraceDepth: 256},
+			Metrics: reg,
+		})
+		kio.Install(k)
+		prog := k.C.Synthesize(nil, "main", nil, func(e *synth.Emitter) {
+			emitSock(e, 5, 9)
+			exitSeq(e)
+		})
+		th := k.SpawnKernel("main", prog)
+		k.Start(th)
+		if err := k.Run(20_000_000); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		var send uint32
+		for _, th := range k.Threads {
+			if a, ok := th.Q.Entries["sock_send"]; ok {
+				send = a
+			}
+		}
+		if send == 0 {
+			t.Fatal("no sock_send entry synthesized")
+		}
+		return k, send
+	}
+	kOff, sendOff := build(nil)
+	kOn, sendOn := build(metrics.New())
+	offCode := m68k.Disassemble(kOff.M.Code, sendOff, 6)
+	onCode := m68k.Disassemble(kOn.M.Code, sendOn, 6)
+	if offCode == onCode {
+		t.Fatal("instrumented build emitted identical code — counter not stitched?")
+	}
+	if !strings.Contains(onCode, "add.l #1") {
+		t.Errorf("instrumented sock_send does not start with the counter bump:\n%s", onCode)
+	}
+	// The disabled build must not contain any counter bump at entry.
+	if strings.Contains(strings.SplitN(offCode, "\n", 2)[0], "add.l #1") {
+		t.Errorf("disabled sock_send carries a counter bump:\n%s", offCode)
+	}
+}

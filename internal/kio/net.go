@@ -108,6 +108,7 @@ func (io *IO) installNet() {
 	k.M.Store(m68k.NetBase+m68k.NetRegSlotSz, 4, netRingSlotSz)
 	k.M.Store(m68k.NetBase+m68k.NetRegCtl, 4, 1)
 
+	io.registerNetMetrics()
 	io.resynthNetHandler()
 }
 
@@ -140,7 +141,7 @@ func (io *IO) resynthNetHandler() {
 	if generic {
 		name = "net_intr_generic"
 	}
-	io.netIntH = k.C.Build(nil, name).Named("kio." + name).Emit(func(e *synth.Emitter) {
+	io.netIntH = k.C.Build(nil, name).Named("kio."+name).Counted().Emit(func(e *synth.Emitter) {
 		e.MoveL(m68k.D(0), m68k.PreDec(7))
 		e.MoveL(m68k.D(1), m68k.PreDec(7))
 		e.MoveL(m68k.D(2), m68k.PreDec(7))
@@ -353,6 +354,7 @@ func (io *IO) OpenSocket(t *kernel.Thread, local, remote uint32) int32 {
 	}
 	s := &NSocket{Local: local, Remote: remote, Queue: q, Stage: stage, TTE: t.TTE, FD: fd}
 	io.socks = append(io.socks, s)
+	io.registerSockMetrics(s)
 	io.resynthNetHandler()
 
 	read := io.synthSockRecv(t, fd, s)
@@ -376,6 +378,7 @@ func (io *IO) closeSocket(t *kernel.Thread, fd int32) {
 	for i, s := range io.socks {
 		if s.TTE == t.TTE && s.FD == fd {
 			io.socks = append(io.socks[:i], io.socks[i+1:]...)
+			io.unregisterSockMetrics(s)
 			io.resynthNetHandler()
 			return
 		}
@@ -403,6 +406,7 @@ func (io *IO) synthSockSend(t *kernel.Thread, fd int32, s *NSocket) uint32 {
 	txStat := m68k.NetBase + m68k.NetRegTxStat
 	return io.K.C.Build(t.Q, "sock_send").
 		Named(fmt.Sprintf("kio.sock%d.send", s.Local)).
+		Counted().
 		Bind("remote", synth.ConstOf(s.Remote)).
 		Bind("local", synth.ConstOf(s.Local)).
 		Emit(func(e *synth.Emitter) {
@@ -487,6 +491,7 @@ func (io *IO) synthSockRecv(t *kernel.Thread, fd int32, s *NSocket) uint32 {
 	g := kernel.FDCell(t.TTE, int(fd), kernel.FDGauge)
 	return io.K.C.Build(t.Q, "sock_recv").
 		Named(fmt.Sprintf("kio.sock%d.recv", s.Local)).
+		Counted().
 		Emit(func(e *synth.Emitter) {
 			e.Label("sr_wait")
 			e.OrSR(iplMaskBits)

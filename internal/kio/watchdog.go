@@ -3,6 +3,7 @@ package kio
 import (
 	"synthesis/internal/kernel"
 	"synthesis/internal/m68k"
+	"synthesis/internal/metrics"
 	"synthesis/internal/synth"
 )
 
@@ -68,6 +69,11 @@ type Watchdog struct {
 	lastTail  uint32
 	stalled   int
 	proc      uint32 // synthesized alarm procedure
+
+	// Metric handles (nil-safe no-ops without a wired registry).
+	mEvents    *metrics.Counter
+	mThrottled *metrics.Gauge
+	mGeneric   *metrics.Gauge
 }
 
 const svcWatchdog = 111
@@ -93,6 +99,7 @@ func (io *IO) InstallWatchdog(cfg WatchdogConfig) *Watchdog {
 	}
 	k := io.K
 	w := &Watchdog{io: io, Cfg: cfg}
+	w.wireWatchdogMetrics()
 	io.netWD = w
 	io.resynthNetHandler() // now bumps the storm gauge
 
@@ -152,7 +159,18 @@ func (w *Watchdog) tick() {
 }
 
 func (w *Watchdog) event(kind string) {
-	w.Events = append(w.Events, RecoveryEvent{Cycle: w.io.K.M.Cycles, Kind: kind})
+	w.Events = append(w.Events, RecoveryEvent{Cycle: w.io.K.M.Clock(), Kind: kind})
+	w.mEvents.Inc()
+	w.io.reg().Counter("kio.net.recovery." + kind).Inc()
+	w.mThrottled.Set(b2f(w.throttled))
+	w.mGeneric.Set(b2f(w.io.netGeneric))
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Throttled reports whether the storm throttle is engaged.

@@ -1,0 +1,56 @@
+package metrics_test
+
+import (
+	"testing"
+
+	"synthesis/internal/metrics"
+)
+
+// The acceptance bar, mirroring prof's StepOverhead pair: a disabled
+// metrics plane hands out nil handles, and the only cost an
+// instrumented path pays is the inlined nil check — compare
+//
+//	go test ./internal/metrics -bench HandleOverhead -benchtime 2s
+//
+// BenchmarkHandleOverheadDisabled against BenchmarkHandleOverheadEnabled.
+// VM-side counters (NQTxFail and friends) pay nothing either way: they
+// are sampled cells, read only at Snapshot time.
+
+func BenchmarkHandleOverheadDisabled(b *testing.B) {
+	var r *metrics.Registry // disabled plane
+	c := r.Counter("bench.ops")
+	g := r.Gauge("bench.depth")
+	h := r.Hist("bench.lat")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(1)
+		h.Observe(uint64(i))
+	}
+}
+
+func BenchmarkHandleOverheadEnabled(b *testing.B) {
+	r := metrics.New()
+	c := r.Counter("bench.ops")
+	g := r.Gauge("bench.depth")
+	h := r.Hist("bench.lat")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(1)
+		h.Observe(uint64(i))
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	r := metrics.New()
+	for i := 0; i < 32; i++ {
+		r.Counter(string(rune('a'+i%26)) + ".ops").Add(uint64(i))
+	}
+	cell := uint64(7)
+	r.Sample("vm.cell", func() uint64 { return cell })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot()
+	}
+}

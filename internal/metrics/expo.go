@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Exposition: the same snapshot in two wire shapes. JSON keeps the
+// native dotted names and the cycles/clock_mhz time base; the
+// Prometheus text format rewrites names to the [a-zA-Z0-9_] alphabet
+// under a "synthesis_" prefix so a scrape of a long-running quamon can
+// land in standard tooling unmodified.
+
+// WriteJSON writes the snapshot as one indented JSON object. Map keys
+// are emitted sorted (encoding/json's map ordering), so the output is
+// deterministic for golden files and diffs.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// PromName rewrites a dotted metric name into the Prometheus
+// alphabet: "kio.sock.7.tx_fail" -> "synthesis_kio_sock_7_tx_fail".
+func PromName(name string) string {
+	var b strings.Builder
+	b.WriteString("synthesis_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text
+// exposition format (v0.0.4): counters and gauges as single samples,
+// histograms as cumulative _bucket{le=...} series with _sum and
+// _count. Families are emitted in sorted name order.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := PromName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", p, p, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := PromName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", p, p, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Hists[n]
+		p := PromName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", p); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, cnt := range h.Buckets {
+			cum += cnt
+			if i == NumBuckets-1 {
+				break // the saturating bucket is the +Inf line below
+			}
+			le := BucketUpper(i) - 1 // inclusive bound of [.., 2^i)
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", p, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			p, h.Count, p, h.Sum, p, h.Count); err != nil {
+			return err
+		}
+	}
+
+	// The snapshot's own time base rides along so scrapes line up with
+	// trace exports: µs = cycles / clock_mhz.
+	if _, err := fmt.Fprintf(w, "# TYPE synthesis_vm_cycles counter\nsynthesis_vm_cycles %d\n", s.Cycles); err != nil {
+		return err
+	}
+	if s.ClockMHz != 0 {
+		if _, err := fmt.Fprintf(w, "# TYPE synthesis_vm_clock_mhz gauge\nsynthesis_vm_clock_mhz %g\n", s.ClockMHz); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the fixed log2 bucket count: bucket 0 holds exact
+// zeros, bucket i (1 <= i < NumBuckets-1) holds values in
+// [2^(i-1), 2^i), and the last bucket absorbs everything at or above
+// 2^(NumBuckets-2). 34 buckets cover 0 through 2^32 cycles — over a
+// minute of simulated time at 50 MHz — before saturating, which is the
+// same shape as the profiler's interrupt-latency histogram but wide
+// enough for end-to-end path times.
+const NumBuckets = 34
+
+// Hist is a lock-free log-bucketed histogram. Observe is a handful of
+// atomic operations; min/max converge by CAS. All methods are safe on
+// a nil receiver.
+type Hist struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	min     atomic.Uint64 // stored as value+1 so 0 means "unset"
+	max     atomic.Uint64
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// BucketOf returns the bucket index for a value.
+func BucketOf(v uint64) int {
+	b := bits.Len64(v) // 0 for 0, k for [2^(k-1), 2^k)
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns the exclusive upper bound of bucket i
+// (math.MaxUint64 for the saturating last bucket).
+func BucketUpper(i int) uint64 {
+	if i <= 0 {
+		return 1
+	}
+	if i >= NumBuckets-1 {
+		return math.MaxUint64
+	}
+	return 1 << uint(i)
+}
+
+// Observe records one value.
+func (h *Hist) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[BucketOf(v)].Add(1)
+	for {
+		old := h.min.Load()
+		if old != 0 && old <= v+1 {
+			break
+		}
+		if h.min.CompareAndSwap(old, v+1) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if old >= v {
+			break
+		}
+		if h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time copy of a histogram. Buckets is
+// trimmed to the highest non-empty bucket.
+type HistSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Min     uint64   `json:"min,omitempty"`
+	Max     uint64   `json:"max,omitempty"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Hist) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if m := h.min.Load(); m > 0 {
+		s.Min = m - 1
+	}
+	top := -1
+	var raw [NumBuckets]uint64
+	for i := range raw {
+		raw[i] = h.buckets[i].Load()
+		if raw[i] != 0 {
+			top = i
+		}
+	}
+	if top >= 0 {
+		s.Buckets = append(s.Buckets, raw[:top+1]...)
+	}
+	return s
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) from the log
+// buckets, interpolating linearly within the winning bucket. The
+// estimate is exact for q landing in bucket 0 (zeros), otherwise
+// bounded by the bucket's power-of-two range and clamped to the
+// observed [Min, Max].
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank <= next {
+			if i == 0 {
+				return 0
+			}
+			lo := float64(uint64(1) << uint(i-1))
+			hi := float64(BucketUpper(i))
+			if i == NumBuckets-1 {
+				hi = float64(s.Max)
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - cum) / float64(n)
+			return s.clamp(lo + frac*(hi-lo))
+		}
+		cum = next
+	}
+	return float64(s.Max)
+}
+
+// clamp bounds a bucket-interpolated estimate by the observed
+// extremes (the cumulative Min/Max ride along in every snapshot).
+func (s HistSnapshot) clamp(v float64) float64 {
+	if s.Max > 0 && v > float64(s.Max) {
+		return float64(s.Max)
+	}
+	if v < float64(s.Min) {
+		return float64(s.Min)
+	}
+	return v
+}
+
+// Sub returns the bucket-wise difference s - prev: the observations
+// that landed between two snapshots. Min and Max keep the current
+// cumulative values (extremes are not decomposable).
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	d := HistSnapshot{
+		Count: s.Count - min64(s.Count, prev.Count),
+		Sum:   s.Sum - min64(s.Sum, prev.Sum),
+		Min:   s.Min,
+		Max:   s.Max,
+	}
+	for i, n := range s.Buckets {
+		var p uint64
+		if i < len(prev.Buckets) {
+			p = prev.Buckets[i]
+		}
+		d.Buckets = append(d.Buckets, n-min64(n, p))
+	}
+	// Trim trailing zero buckets so empty deltas stay compact.
+	top := -1
+	for i, n := range d.Buckets {
+		if n != 0 {
+			top = i
+		}
+	}
+	d.Buckets = d.Buckets[:top+1]
+	return d
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

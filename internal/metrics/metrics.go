@@ -1,0 +1,359 @@
+// Package metrics is the unified observability plane: a lock-free
+// registry of named counters, gauges and log-bucketed histograms with
+// cheap snapshot/delta views and JSON + Prometheus-text exposition.
+//
+// The Quamachine measures itself (Section 6.1: µs interval timer,
+// instruction and memory-reference counters); this package gives the
+// rest of the reproduction the same always-on, near-zero-cost
+// discipline. Hot paths hold typed handles (*Counter, *Gauge, *Hist)
+// and update them with single atomic operations; a disabled plane
+// hands out nil handles, on which every update method is an inlined
+// nil-check no-op — the same contract as the m68k Probe hook.
+//
+// Counters that synthesized Quamachine code maintains in VM memory
+// (queue gauges, error tallies, the kernel's spurious-IRQ cell) are
+// not mirrored on the hot path at all: they register as *sampled*
+// metrics, a closure the registry calls only at Snapshot time. The
+// generated code keeps its single AddL to a folded absolute address;
+// the registry serves the same cell to every consumer.
+//
+// Naming follows "<subsystem>.<object>.<metric>" with dots, e.g.
+// kio.sock.7.tx_fail or kernel.spurious_irq; the Prometheus exposition
+// rewrites dots to underscores and prefixes "synthesis_".
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value updated with one atomic
+// add. All methods are safe on a nil receiver (disabled plane).
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time value (occupancy, on/off state) stored as
+// float64 bits behind one atomic word.
+type Gauge struct{ v atomic.Uint64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(f float64) {
+	if g != nil {
+		g.v.Store(floatBits(f))
+	}
+}
+
+// Value returns the current gauge reading (0 on a nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return floatFrom(g.v.Load())
+}
+
+// Registry holds the named metrics for one kernel instance.
+// Registration takes a short critical section; updates through the
+// returned handles are lock-free. A nil *Registry is a valid disabled
+// plane: every lookup returns a nil handle and Snapshot returns the
+// zero Snapshot.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Hist
+	sampledC map[string]func() uint64  // counter-typed sampled reads
+	sampledG map[string]func() float64 // gauge-typed sampled reads
+
+	clock    func() uint64 // VM cycle source (Machine.Clock)
+	clockMHz float64
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Hist{},
+		sampledC: map[string]func() uint64{},
+		sampledG: map[string]func() float64{},
+	}
+}
+
+// SetClock binds the registry's timestamp source: fn is sampled into
+// every Snapshot (the convention is Machine.Clock, so snapshots and
+// the profiler's trace events share one time base), and mhz converts
+// those cycles to microseconds (µs = cycles / mhz).
+func (r *Registry) SetClock(fn func() uint64, mhz float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.clock = fn
+	r.clockMHz = mhz
+	r.mu.Unlock()
+}
+
+// Counter returns the named counter handle, creating it on first use.
+// Returns nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge handle, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Hist returns the named histogram handle, creating it on first use.
+func (r *Registry) Hist(name string) *Hist {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Hist{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Sample registers a counter-typed metric served by fn at snapshot
+// time. This is how VM-memory cells maintained by synthesized code
+// (NQTxFail, GSpuriousIRQ, ...) join the plane with zero hot-path
+// cost: the cell read happens only when somebody looks.
+func (r *Registry) Sample(name string, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sampledC[name] = fn
+	r.mu.Unlock()
+}
+
+// SampleGauge registers a gauge-typed sampled metric (occupancy and
+// other non-monotonic cell reads).
+func (r *Registry) SampleGauge(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sampledG[name] = fn
+	r.mu.Unlock()
+}
+
+// UnregisterPrefix removes every metric whose name starts with prefix
+// (socket close tears down its kio.sock.<port>.* family so snapshots
+// never read cells of a dead queue).
+func (r *Registry) UnregisterPrefix(prefix string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n := range r.counters {
+		if hasPrefix(n, prefix) {
+			delete(r.counters, n)
+		}
+	}
+	for n := range r.gauges {
+		if hasPrefix(n, prefix) {
+			delete(r.gauges, n)
+		}
+	}
+	for n := range r.hists {
+		if hasPrefix(n, prefix) {
+			delete(r.hists, n)
+		}
+	}
+	for n := range r.sampledC {
+		if hasPrefix(n, prefix) {
+			delete(r.sampledC, n)
+		}
+	}
+	for n := range r.sampledG {
+		if hasPrefix(n, prefix) {
+			delete(r.sampledG, n)
+		}
+	}
+}
+
+func hasPrefix(s, p string) bool { return strings.HasPrefix(s, p) }
+
+// Names returns every registered metric name, sorted.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0,
+		len(r.counters)+len(r.gauges)+len(r.hists)+len(r.sampledC)+len(r.sampledG))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	for n := range r.sampledC {
+		names = append(names, n)
+	}
+	for n := range r.sampledG {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot is one point-in-time view of the whole plane. Cycles is
+// the VM clock (Machine.Clock()) at sample time and ClockMHz its rate,
+// so Micros() = Cycles/ClockMHz reconstructs simulated time — the
+// same cycles→µs convention the profiler's Chrome-trace export uses.
+type Snapshot struct {
+	Cycles   uint64                  `json:"cycles"`
+	ClockMHz float64                 `json:"clock_mhz,omitempty"`
+	Counters map[string]uint64       `json:"counters,omitempty"`
+	Gauges   map[string]float64      `json:"gauges,omitempty"`
+	Hists    map[string]HistSnapshot `json:"hists,omitempty"`
+}
+
+// Micros returns the snapshot's timestamp in simulated microseconds.
+func (s Snapshot) Micros() float64 {
+	if s.ClockMHz == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / s.ClockMHz
+}
+
+// Snapshot samples every metric, including the sampled cell readers.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		ClockMHz: r.clockMHz,
+		Counters: make(map[string]uint64, len(r.counters)+len(r.sampledC)),
+		Gauges:   make(map[string]float64, len(r.gauges)+len(r.sampledG)),
+		Hists:    make(map[string]HistSnapshot, len(r.hists)),
+	}
+	if r.clock != nil {
+		s.Cycles = r.clock()
+	}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, fn := range r.sampledC {
+		s.Counters[n] = fn()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, fn := range r.sampledG {
+		s.Gauges[n] = fn()
+	}
+	for n, h := range r.hists {
+		s.Hists[n] = h.Snapshot()
+	}
+	return s
+}
+
+// Delta is the change between two snapshots: counter increments,
+// current gauge readings, and histogram bucket differences over the
+// elapsed VM cycles.
+type Delta struct {
+	Cycles   uint64                  `json:"cycles"` // elapsed
+	ClockMHz float64                 `json:"clock_mhz,omitempty"`
+	Counters map[string]uint64       `json:"counters,omitempty"`
+	Gauges   map[string]float64      `json:"gauges,omitempty"`
+	Hists    map[string]HistSnapshot `json:"hists,omitempty"`
+}
+
+// Micros returns the elapsed simulated microseconds.
+func (d Delta) Micros() float64 {
+	if d.ClockMHz == 0 {
+		return 0
+	}
+	return float64(d.Cycles) / d.ClockMHz
+}
+
+// Rate returns the named counter's increments per simulated second.
+func (d Delta) Rate(name string) float64 {
+	us := d.Micros()
+	if us == 0 {
+		return 0
+	}
+	return float64(d.Counters[name]) * 1e6 / us
+}
+
+// Delta returns the change from prev to s. Counters that went
+// backwards (a torn-down socket's cell reused) restart from their
+// current value. Gauges carry the current reading, not a difference.
+func (s Snapshot) Delta(prev Snapshot) Delta {
+	d := Delta{
+		Cycles:   s.Cycles - prev.Cycles,
+		ClockMHz: s.ClockMHz,
+		Counters: make(map[string]uint64, len(s.Counters)),
+		Gauges:   s.Gauges,
+		Hists:    make(map[string]HistSnapshot, len(s.Hists)),
+	}
+	for n, v := range s.Counters {
+		if p, ok := prev.Counters[n]; ok && p <= v {
+			d.Counters[n] = v - p
+		} else {
+			d.Counters[n] = v
+		}
+	}
+	for n, h := range s.Hists {
+		d.Hists[n] = h.Sub(prev.Hists[n])
+	}
+	return d
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func floatFrom(b uint64) float64 { return math.Float64frombits(b) }

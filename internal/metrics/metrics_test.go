@@ -1,0 +1,263 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The registry's concurrency contract: handle updates are lock-free
+// atomics and may race freely with Snapshot. Run under -race (the
+// Makefile's race target includes this package).
+func TestConcurrentIncrementAndSnapshot(t *testing.T) {
+	r := New()
+	c := r.Counter("test.ops")
+	g := r.Gauge("test.depth")
+	h := r.Hist("test.lat")
+
+	const workers = 8
+	const perWorker = 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(uint64(i % 100))
+			}
+		}(w)
+	}
+	// Snapshot continuously while the writers run.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			s := r.Snapshot()
+			if s.Counters["test.ops"] > workers*perWorker {
+				t.Errorf("snapshot counter overshot: %d", s.Counters["test.ops"])
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	s := r.Snapshot()
+	if got := s.Counters["test.ops"]; got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := s.Hists["test.lat"].Count; got != workers*perWorker {
+		t.Errorf("hist count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestNilHandlesAndNilRegistry(t *testing.T) {
+	var r *Registry
+	// Every path on a disabled plane must be a no-op, not a panic.
+	r.Counter("x").Add(3)
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Hist("x").Observe(7)
+	r.Sample("x", func() uint64 { return 1 })
+	r.SampleGauge("x", func() float64 { return 1 })
+	r.SetClock(func() uint64 { return 0 }, 16)
+	r.UnregisterPrefix("x")
+	if n := r.Names(); n != nil {
+		t.Errorf("nil registry Names = %v", n)
+	}
+	s := r.Snapshot()
+	if s.Cycles != 0 || len(s.Counters) != 0 {
+		t.Errorf("nil registry snapshot = %+v", s)
+	}
+	if v := (*Counter)(nil).Value(); v != 0 {
+		t.Errorf("nil counter Value = %d", v)
+	}
+	if v := (*Gauge)(nil).Value(); v != 0 {
+		t.Errorf("nil gauge Value = %g", v)
+	}
+	if hs := (*Hist)(nil).Snapshot(); hs.Count != 0 {
+		t.Errorf("nil hist snapshot = %+v", hs)
+	}
+}
+
+// Histogram bucket boundaries: bucket 0 is exact zeros, bucket i is
+// [2^(i-1), 2^i), the last bucket saturates.
+func TestHistBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{7, 3},
+		{8, 4},
+		{1023, 10},
+		{1024, 11},
+		{1 << 31, 32},
+		{1<<32 - 1, 32},
+		{1 << 32, 33},
+		{1 << 40, NumBuckets - 1},
+		{^uint64(0), NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := BucketOf(c.v); got != c.want {
+			t.Errorf("BucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Upper bounds are consistent with bucket assignment: a value one
+	// below the bound stays in the bucket, the bound itself moves up.
+	for i := 1; i < NumBuckets-1; i++ {
+		up := BucketUpper(i)
+		if BucketOf(up-1) != i {
+			t.Errorf("BucketOf(BucketUpper(%d)-1) = %d, want %d", i, BucketOf(up-1), i)
+		}
+		if BucketOf(up) != i+1 {
+			t.Errorf("BucketOf(BucketUpper(%d)) = %d, want %d", i, BucketOf(up), i+1)
+		}
+	}
+}
+
+func TestHistStats(t *testing.T) {
+	h := &Hist{}
+	for _, v := range []uint64{0, 1, 2, 4, 8, 100, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Errorf("count = %d", s.Count)
+	}
+	if s.Min != 0 || s.Max != 1000 {
+		t.Errorf("min/max = %d/%d, want 0/1000", s.Min, s.Max)
+	}
+	if s.Sum != 1115 {
+		t.Errorf("sum = %d", s.Sum)
+	}
+	if q := s.Quantile(0); q != 0 {
+		t.Errorf("p0 = %g, want 0", q)
+	}
+	if q := s.Quantile(1); q < 512 || q > 1024 {
+		t.Errorf("p100 = %g, want within the top bucket", q)
+	}
+	if m := s.Mean(); m < 159 || m > 160 {
+		t.Errorf("mean = %g", m)
+	}
+}
+
+func TestSnapshotDeltaAndSampled(t *testing.T) {
+	cell := uint64(0)
+	cyc := uint64(0)
+	r := New()
+	r.SetClock(func() uint64 { return cyc }, 16) // 16 MHz: 16 cycles = 1 µs
+	r.Sample("vm.cell", func() uint64 { return cell })
+	c := r.Counter("host.ops")
+
+	s0 := r.Snapshot()
+	c.Add(32)
+	cell = 10
+	cyc = 16_000_000 // one simulated second
+	s1 := r.Snapshot()
+
+	d := s1.Delta(s0)
+	if d.Counters["host.ops"] != 32 || d.Counters["vm.cell"] != 10 {
+		t.Errorf("delta counters = %v", d.Counters)
+	}
+	if us := d.Micros(); us != 1e6 {
+		t.Errorf("delta micros = %g, want 1e6", us)
+	}
+	if rate := d.Rate("host.ops"); rate != 32 {
+		t.Errorf("rate = %g, want 32/s", rate)
+	}
+
+	// A counter that went backwards (torn-down cell) restarts.
+	cell = 3
+	s2 := r.Snapshot()
+	if d := s2.Delta(s1); d.Counters["vm.cell"] != 3 {
+		t.Errorf("restart delta = %d, want 3", d.Counters["vm.cell"])
+	}
+}
+
+func TestUnregisterPrefix(t *testing.T) {
+	r := New()
+	r.Counter("kio.sock.7.tx_fail")
+	r.SampleGauge("kio.sock.7.queue_depth", func() float64 { return 1 })
+	r.Counter("kio.sock.9.tx_fail")
+	r.Hist("prof.irq.l6.latency_cycles")
+	r.UnregisterPrefix("kio.sock.7.")
+	names := strings.Join(r.Names(), ",")
+	if strings.Contains(names, "sock.7") {
+		t.Errorf("sock.7 metrics survive unregister: %s", names)
+	}
+	if !strings.Contains(names, "kio.sock.9.tx_fail") || !strings.Contains(names, "prof.irq") {
+		t.Errorf("unrelated metrics were removed: %s", names)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.SetClock(func() uint64 { return 4242 }, 16)
+	r.Counter("a.b").Add(7)
+	r.Gauge("c.d").Set(2.5)
+	r.Hist("e.f").Observe(3)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cycles != 4242 || back.Counters["a.b"] != 7 || back.Gauges["c.d"] != 2.5 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	if back.Hists["e.f"].Count != 1 {
+		t.Errorf("hist lost: %+v", back.Hists)
+	}
+}
+
+// Golden test for the Prometheus text exposition: fixed input, exact
+// expected output.
+func TestPrometheusGolden(t *testing.T) {
+	r := New()
+	r.SetClock(func() uint64 { return 1600 }, 16)
+	r.Counter("kernel.spurious_irq").Add(3)
+	r.Counter("kio.sock.7.tx_fail").Add(1)
+	r.Gauge("kio.sock.7.queue_depth").Set(2)
+	h := r.Hist("prof.irq.l6.latency_cycles")
+	h.Observe(0)
+	h.Observe(5)
+	h.Observe(6)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `# TYPE synthesis_kernel_spurious_irq counter
+synthesis_kernel_spurious_irq 3
+# TYPE synthesis_kio_sock_7_tx_fail counter
+synthesis_kio_sock_7_tx_fail 1
+# TYPE synthesis_kio_sock_7_queue_depth gauge
+synthesis_kio_sock_7_queue_depth 2
+# TYPE synthesis_prof_irq_l6_latency_cycles histogram
+synthesis_prof_irq_l6_latency_cycles_bucket{le="0"} 1
+synthesis_prof_irq_l6_latency_cycles_bucket{le="1"} 1
+synthesis_prof_irq_l6_latency_cycles_bucket{le="3"} 1
+synthesis_prof_irq_l6_latency_cycles_bucket{le="7"} 3
+synthesis_prof_irq_l6_latency_cycles_bucket{le="+Inf"} 3
+synthesis_prof_irq_l6_latency_cycles_sum 11
+synthesis_prof_irq_l6_latency_cycles_count 3
+# TYPE synthesis_vm_cycles counter
+synthesis_vm_cycles 1600
+# TYPE synthesis_vm_clock_mhz gauge
+synthesis_vm_clock_mhz 16
+`
+	if got := buf.String(); got != golden {
+		t.Errorf("prometheus exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"synthesis/internal/m68k"
+	"synthesis/internal/metrics"
 )
 
 // Reserved region ids. Region 0 absorbs cycles whose PC is in no
@@ -59,6 +60,10 @@ type Profiler struct {
 	irq      [8]LatencyHist
 	excCount [m68k.NumVectors]uint64
 	ring     *Ring
+	// mIRQ mirrors the per-level latency histograms into the metrics
+	// registry when both planes are on (PublishTo). Nil handles are
+	// no-ops, so an unpublished profiler pays only a nil check.
+	mIRQ [8]*metrics.Hist
 }
 
 // Enable attaches a new profiler to the machine and returns it.
@@ -67,7 +72,7 @@ func Enable(m *m68k.Machine, ringDepth int) *Profiler {
 	p := &Profiler{
 		m:     m,
 		ids:   map[string]int{},
-		start: m.Cycles,
+		start: m.Clock(),
 		ring:  NewRing(ringDepth),
 	}
 	p.regions = []Region{{Name: "(unattributed)"}, {Name: "(idle)"}}
@@ -133,7 +138,7 @@ func (p *Profiler) StepDone(pc uint32, cycles, instrs uint64, idle bool) {
 	p.regions[id].Cycles += cycles
 	p.regions[id].Instrs += instrs
 	if id != p.cur {
-		stepStart := p.m.Cycles - cycles
+		stepStart := p.m.Clock() - cycles
 		if p.cur >= 0 && stepStart > p.curStart {
 			p.ring.Push(Event{Name: p.regions[p.cur].Name, Ph: 'X', At: p.curStart, Dur: stepStart - p.curStart})
 		}
@@ -162,6 +167,7 @@ func (p *Profiler) InterruptTaken(level, vec int, raisedAt, takenAt uint64) {
 		lat = takenAt - raisedAt
 	}
 	p.irq[level].Add(lat)
+	p.mIRQ[level].Observe(lat)
 	p.ring.Push(Event{Name: fmt.Sprintf("irq l%d", level), Ph: 'i', At: takenAt})
 }
 
@@ -179,8 +185,19 @@ func (p *Profiler) Charged(cycles uint64, what string) {
 	p.regions[id].Cycles += cycles
 }
 
+// PublishTo mirrors the profiler's per-level IRQ-latency histograms
+// into the metrics registry as prof.irq.l<level>.latency_cycles.
+// Observations are in Machine.Clock() cycles, the shared time base of
+// both planes (divide by ClockMHz for microseconds; the snapshot
+// carries the rate).
+func (p *Profiler) PublishTo(reg *metrics.Registry) {
+	for l := range p.mIRQ {
+		p.mIRQ[l] = reg.Hist(fmt.Sprintf("prof.irq.l%d.latency_cycles", l))
+	}
+}
+
 // Window returns the cycles elapsed on the machine since Enable.
-func (p *Profiler) Window() uint64 { return p.m.Cycles - p.start }
+func (p *Profiler) Window() uint64 { return p.m.Clock() - p.start }
 
 // Attributed returns the cycles charged to any region, named or
 // pseudo, other than (unattributed).

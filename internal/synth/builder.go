@@ -25,6 +25,25 @@ type RegionSink interface {
 	RegisterRegion(name string, base uint32, instrs int)
 }
 
+// CounterPlane supplies VM counter cells for routines built with
+// Counted(): the builder stitches one AddL #1,<cell> into the entry of
+// the generated code, so the quaject counts its own invocations the
+// way the paper's kernel self-measures — the cell is a folded
+// absolute address, one instruction per call, and the observability
+// layer reads it lazily. Resynthesized is called once per Emit of a
+// counted region, counting how often the routine has been
+// (re)generated. The kernel wires a metrics-backed implementation;
+// nil (the default) disables stitching entirely, so benchmarks see
+// byte-identical code.
+type CounterPlane interface {
+	// InvocationCell returns the cell address to bump on entry to the
+	// named region, or 0 to leave the routine uninstrumented. The same
+	// region name must yield the same cell across resynthesis.
+	InvocationCell(region string) uint32
+	// Resynthesized notes one generation of the named region.
+	Resynthesized(region string)
+}
+
 // Builder assembles one routine through the full creation pipeline.
 // Obtain one from Creator.Build, chain the option methods, and call
 // Emit with the template closure.
@@ -38,6 +57,7 @@ type Builder struct {
 	base    uint32
 	size    int
 	inPlace bool
+	counted bool
 }
 
 // Build starts a Builder for one entry point of q (q may be nil for
@@ -90,11 +110,41 @@ func (b *Builder) Named(region string) *Builder {
 	return b
 }
 
+// Counted opts this routine into invocation counting: when the
+// creator has a CounterPlane attached, the emitted code starts with
+// one AddL #1 into the plane's cell for this region. Without a plane
+// the option is inert and the generated code is unchanged.
+func (b *Builder) Counted() *Builder {
+	b.counted = true
+	return b
+}
+
+// regionName resolves the attribution name used for region
+// registration and invocation counting.
+func (b *Builder) regionName() string {
+	if b.region != "" {
+		return b.region
+	}
+	if b.q != nil && b.q.Name != "" {
+		return b.q.Name + "." + b.entry
+	}
+	return b.entry
+}
+
 // Emit runs the template closure and the rest of the pipeline, then
 // returns the installed entry address.
 func (b *Builder) Emit(emit func(*Emitter)) uint32 {
 	c := b.c
+	name := b.regionName()
 	e := NewEmitter(b.env)
+	if b.counted && c.Counters != nil {
+		// Self-measurement stitched into the quaject: one AddL to a
+		// folded cell address before the template body runs.
+		if cell := c.Counters.InvocationCell(name); cell != 0 {
+			e.AddL(m68k.Imm(1), m68k.Abs(cell))
+		}
+		c.Counters.Resynthesized(name)
+	}
 	emit(e)
 	p := e.Export()
 	if len(b.callees) > 0 {
@@ -141,14 +191,6 @@ func (b *Builder) Emit(emit func(*Emitter)) uint32 {
 	c.TotalBytes += st.BytesAfter
 	c.Routines++
 	if c.Regions != nil {
-		name := b.region
-		if name == "" {
-			if b.q != nil && b.q.Name != "" {
-				name = b.q.Name + "." + b.entry
-			} else {
-				name = b.entry
-			}
-		}
 		c.Regions.RegisterRegion(name, addr, regionLen)
 	}
 	return addr

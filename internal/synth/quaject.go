@@ -62,6 +62,11 @@ type Creator struct {
 	// to named quaject code. See builder.go.
 	Regions RegionSink
 
+	// Counters, when non-nil, provides invocation-counter cells for
+	// routines built with Builder.Counted (see CounterPlane in
+	// builder.go). Nil leaves every generated routine untouched.
+	Counters CounterPlane
+
 	// Accounting across all quajects, for the Section 6.4 table.
 	TotalInstrs int
 	TotalBytes  int

@@ -18,12 +18,17 @@
 //	quamon -faults spurious=7:20000,buserr=disk@3 -fault-seed 7
 //	quamon -watch               # live metrics: loopback traffic, per-window deltas
 //	quamon -watch -interval-us 1000 -windows 20 -prom metrics.prom
+//	quamon -watch -program procread      # named bench workload instead
+//	quamon -watch -program workload.s    # or an assembly text file
 //
 // -watch boots the full kernel (network, UNIX emulator, watchdog),
-// drives a loopback socket workload, and streams metric deltas every
-// -interval-us of simulated time: counter rates, histogram
-// percentiles, recovery events. -metrics-json and -prom write the
-// final snapshot (use "-" for stdout).
+// drives a workload, and streams metric deltas every -interval-us of
+// simulated time: counter rates, histogram percentiles, recovery
+// events. The default workload is a loopback socket exchange;
+// -program substitutes a named bench program (compute, pipe-1b,
+// pipe-1k, pipe-4k, file-rw, open-null, open-tty, procread) or a file
+// assembled with the asmkit text assembler. -metrics-json and -prom
+// write the final snapshot (use "-" for stdout).
 package main
 
 import (
@@ -51,10 +56,13 @@ func main() {
 	traceJSON := flag.String("trace-json", "", "write the profile's Chrome trace (about:tracing JSON) here")
 	table := flag.String("table", "",
 		"regenerate a bench table instead of the demo: one of "+strings.Join(bench.Names(), ","))
-	iters := flag.Int("iters", 200, "loop count for -table 1")
+	iters := flag.Int("iters", 200, "loop count for -table 1 and finite -program workloads")
 	faults := flag.String("faults", "", "inject faults into the demo or table machines (see grammar below)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the -faults schedule; a seed replays exactly")
-	watch := flag.Bool("watch", false, "live-monitor a loopback socket workload, streaming metric deltas")
+	watch := flag.Bool("watch", false, "live-monitor a workload, streaming metric deltas")
+	program := flag.String("program", "",
+		"workload for -watch: a named bench program ("+strings.Join(bench.WatchProgramNames(), ",")+
+			") or an assembly text file; default is the loopback socket exchange")
 	intervalUS := flag.Float64("interval-us", 2000, "simulated microseconds per -watch sampling window")
 	windows := flag.Int("windows", 8, "number of -watch windows before stopping")
 	metricsJSON := flag.String("metrics-json", "", "write the final metrics snapshot as JSON here (\"-\" for stdout)")
@@ -73,8 +81,13 @@ func main() {
 		}
 	}
 
+	if *program != "" && !*watch {
+		fmt.Fprintln(os.Stderr, "quamon: -program requires -watch")
+		os.Exit(2)
+	}
 	if *watch {
-		os.Exit(runWatch(*intervalUS, *windows, *faults, *faultSeed, *metricsJSON, *promOut))
+		os.Exit(runWatch(*intervalUS, *windows, *program, int32(*iters),
+			*faults, *faultSeed, *metricsJSON, *promOut))
 	}
 
 	if *table != "" {

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"synthesis/internal/asmkit"
+	"synthesis/internal/bench"
 	"synthesis/internal/fault"
 	"synthesis/internal/kernel"
 	"synthesis/internal/kio"
@@ -16,12 +18,16 @@ import (
 )
 
 // Live monitoring mode: boot a full kernel (network, UNIX emulator,
-// watchdog), drive a loopback socket workload, and sample the metrics
-// registry on a VM-time interval — the chunked Run makes the machine
-// pause every intervalUS simulated microseconds so a snapshot delta
-// can be streamed: counter rates, histogram percentiles, recovery
-// events. Everything is keyed to Machine.Clock() cycles; µs = cycles /
+// watchdog), drive a workload, and sample the metrics registry on a
+// VM-time interval — the chunked Run makes the machine pause every
+// intervalUS simulated microseconds so a snapshot delta can be
+// streamed: counter rates, histogram percentiles, recovery events.
+// Everything is keyed to Machine.Clock() cycles; µs = cycles /
 // ClockMHz (the snapshot carries both).
+//
+// The workload is the loopback socket exchange by default; -program
+// substitutes a named bench program or an assembly text file (see
+// resolveProgram).
 
 // trafficPorts is the loopback pair the watch workload drives.
 var trafficPorts = [2]uint32{5, 9}
@@ -61,8 +67,35 @@ func buildTraffic(b *asmkit.Builder) {
 	b.Bra("loop")
 }
 
+// resolveProgram turns the -program flag value into a linked-ready
+// builder and a display name: "" is the loopback traffic workload, a
+// known bench name resolves through the bench registry, anything else
+// is read as a file and fed to the asmkit text assembler.
+func resolveProgram(program string, iters int32) (*asmkit.Builder, string, error) {
+	if program == "" {
+		b := asmkit.New()
+		buildTraffic(b)
+		return b, "traffic", nil
+	}
+	if build, ok := bench.BuildWatchProgram(program, iters); ok {
+		b := asmkit.New()
+		build(b)
+		return b, program, nil
+	}
+	src, err := os.ReadFile(program)
+	if err != nil {
+		return nil, "", fmt.Errorf("%q is neither a named workload (%s) nor a readable file: %w",
+			program, strings.Join(bench.WatchProgramNames(), ","), err)
+	}
+	b, err := asmkit.Assemble(string(src))
+	if err != nil {
+		return nil, "", fmt.Errorf("%s: %w", program, err)
+	}
+	return b, program, nil
+}
+
 // runWatch is the -watch entry point; returns the process exit code.
-func runWatch(intervalUS float64, windows int, faults string, faultSeed int64, metricsJSON, promOut string) int {
+func runWatch(intervalUS float64, windows int, program string, iters int32, faults string, faultSeed int64, metricsJSON, promOut string) int {
 	reg := metrics.New()
 	cfg := m68k.Sun3Config()
 	k := kernel.Boot(kernel.Config{
@@ -78,25 +111,34 @@ func runWatch(intervalUS float64, windows int, faults string, faultSeed int64, m
 		inj, _ := fault.FromSpec(faults, faultSeed) // validated by the caller
 		inj.Attach(k.M)
 	}
+	// Name strings, scratch buffer, and the benchmark file the named
+	// (and hand-assembled) workloads expect.
+	if err := bench.PrepareWatchKernel(k); err != nil {
+		fmt.Fprintf(os.Stderr, "quamon: watch: %v\n", err)
+		return 1
+	}
 	for i := uint32(0); i < watchPayload; i += 4 {
 		k.M.Poke(watchBufA+i, 4, 0x5a5a0000+i)
 	}
 
-	b := asmkit.New()
-	buildTraffic(b)
+	b, progName, err := resolveProgram(program, iters)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quamon: -program %v\n", err)
+		return 2
+	}
 	entry := b.Link(k.M)
 	if k.Prof != nil {
-		k.Prof.RegisterRegion("watch.traffic", entry, b.Len())
+		k.Prof.RegisterRegion("watch."+progName, entry, b.Len())
 	}
-	th := k.SpawnKernel("traffic", entry)
+	th := k.SpawnKernel(progName, entry)
 	k.Start(th)
 
 	intervalCycles := uint64(intervalUS * cfg.ClockMHz)
 	if intervalCycles == 0 {
 		intervalCycles = 1
 	}
-	fmt.Printf("watching %d windows of %.0f µs simulated (%d cycles at %.0f MHz)\n\n",
-		windows, intervalUS, intervalCycles, cfg.ClockMHz)
+	fmt.Printf("watching %q for %d windows of %.0f µs simulated (%d cycles at %.0f MHz)\n\n",
+		progName, windows, intervalUS, intervalCycles, cfg.ClockMHz)
 
 	prev := reg.Snapshot()
 	for w := 1; w <= windows; w++ {

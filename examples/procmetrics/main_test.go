@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExampleRuns executes the example end to end under `go test`, so
+// the tier-1 suite exercises the guest round trip, not just the build.
+func TestExampleRuns(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"byte for byte",
+		"unixemu.sys.open.calls",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -19,6 +19,7 @@ const (
 	addrNameNull = 0xA000
 	addrNameTTY  = 0xA010
 	addrNameFile = 0xA020
+	addrNameProc = 0xA030
 	addrBufA     = 0xB000 // 8 KB scratch
 	addrBufB     = 0xD000
 	addrQArray   = 0x20000 // chaos sequence array
@@ -58,6 +59,7 @@ func prepareNames(m *m68k.Machine) {
 	poke(addrNameNull, "/dev/null")
 	poke(addrNameTTY, "/dev/tty")
 	poke(addrNameFile, benchFileName)
+	poke(addrNameProc, kio.ProcMetricsPath)
 	for i := uint32(0); i < 8192; i += 4 {
 		m.Poke(addrBufA+i, 4, 0x55aa1234+i)
 	}

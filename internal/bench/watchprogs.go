@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"synthesis/internal/asmkit"
+	"synthesis/internal/kernel"
+	"synthesis/internal/m68k"
+	"synthesis/internal/unixemu"
+)
+
+// Named workloads for `quamon -watch -program <name>`: the Table 1
+// programs under short command-line names, plus "procread", the
+// observability demo that makes the kernel read its own metrics. The
+// monitor runs whichever program is named under its sampling windows,
+// so any benchmark becomes a live metrics source.
+
+// watchProgs maps -program names to builders. Finite programs exit
+// and end the watch early; "traffic" (the default) and "procread"
+// run until the windows are exhausted.
+func watchProgs(iters int32) map[string]func(*asmkit.Builder) {
+	return map[string]func(*asmkit.Builder){
+		"compute":   func(b *asmkit.Builder) { BuildCompute(b, 2000) },
+		"pipe-1b":   func(b *asmkit.Builder) { BuildPipeRW(b, iters, 1) },
+		"pipe-1k":   func(b *asmkit.Builder) { BuildPipeRW(b, iters, 1024) },
+		"pipe-4k":   func(b *asmkit.Builder) { BuildPipeRW(b, iters, 4096) },
+		"file-rw":   func(b *asmkit.Builder) { BuildFileRW(b, iters) },
+		"open-null": func(b *asmkit.Builder) { BuildOpenClose(b, iters, addrNameNull) },
+		"open-tty":  func(b *asmkit.Builder) { BuildOpenClose(b, iters, addrNameTTY) },
+		"procread":  BuildProcReadLoop,
+	}
+}
+
+// WatchProgramNames lists the names BuildWatchProgram accepts, sorted
+// for usage messages.
+func WatchProgramNames() []string {
+	m := watchProgs(1)
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BuildWatchProgram resolves a -program name to its builder. The
+// iteration count applies to the finite Table 1 programs.
+func BuildWatchProgram(name string, iters int32) (func(*asmkit.Builder), bool) {
+	if iters <= 0 {
+		iters = 200
+	}
+	f, ok := watchProgs(iters)[name]
+	return f, ok
+}
+
+// BuildProcReadLoop emits the observability workload: forever open
+// /proc/metrics, read the snapshot to EOF in 256-byte chunks, and
+// close. Every round cuts a fresh snapshot and resynthesizes the read
+// routine, so a monitor watching the registry sees the kernel
+// watching itself (synth.kio.proc.read.calls counts the reads the
+// guest performs to learn the value of synth.kio.proc.read.calls).
+func BuildProcReadLoop(b *asmkit.Builder) {
+	b.Label("again")
+	b.MoveL(m68k.Imm(addrNameProc), m68k.D(1))
+	unixCall(b, unixemu.SysOpen)
+	b.MoveL(m68k.D(0), m68k.D(6))
+	b.Label("rd")
+	procRead(b, 6)
+	b.TstL(m68k.D(0))
+	b.Bne("rd")
+	b.MoveL(m68k.D(6), m68k.D(1))
+	unixCall(b, unixemu.SysClose)
+	b.Bra("again")
+}
+
+// PrepareWatchKernel readies a booted kernel for the named watch
+// workloads (and for assembled -program files using the same
+// conventions): it pokes the shared name strings — including
+// /proc/metrics at 0xA030 — fills the scratch buffer at 0xB000, and
+// creates the 1 KB benchmark file.
+func PrepareWatchKernel(k *kernel.Kernel) error {
+	if k.FS.Lookup(benchFileName) == nil {
+		if _, err := k.FS.CreateSized(benchFileName, make([]byte, 1024), 8192); err != nil {
+			return fmt.Errorf("bench: create %s: %w", benchFileName, err)
+		}
+	}
+	prepareNames(k.M)
+	return nil
+}

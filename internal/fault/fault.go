@@ -1,14 +1,3 @@
-// Package fault is the deterministic fault-injection plane. It plugs
-// into the m68k device layer the same way prof.Probe plugs into the
-// step loop: a nil-checked hook (Machine.Inj) that costs nothing when
-// absent. An Injector perturbs the device view of the world — losing,
-// corrupting, duplicating and delaying NIC frames, raising bus errors
-// on device-window accesses, firing spurious interrupts and interrupt
-// storms at a chosen IPL, jittering the interval timer, and forcing
-// packet-ring-full conditions — while the kernel under test must keep
-// serving. Every random draw comes from one seeded source, so a fault
-// schedule replays exactly: a failing soak run is a repro, not an
-// anecdote.
 package fault
 
 import (

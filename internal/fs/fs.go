@@ -40,11 +40,12 @@ const (
 
 // Special file kinds.
 const (
-	SpecialNone uint32 = iota
-	SpecialNull        // /dev/null
-	SpecialTTY         // /dev/tty
-	SpecialAD          // /dev/ad: the analog sampler stream
-	SpecialDisk        // disk-resident file, demand-loaded into the cache
+	SpecialNone    uint32 = iota
+	SpecialNull           // /dev/null
+	SpecialTTY            // /dev/tty
+	SpecialAD             // /dev/ad: the analog sampler stream
+	SpecialDisk           // disk-resident file, demand-loaded into the cache
+	SpecialMetrics        // /proc/metrics: snapshot of the observability plane
 )
 
 // File is the Go-side mirror of one directory entry.

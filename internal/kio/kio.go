@@ -52,6 +52,9 @@ type IO struct {
 	netCoalesce  uint32 // >0: storm throttle, drain every Nth interrupt
 	netWD        *Watchdog
 	socks        []*NSocket
+
+	// Metrics quaject state.
+	procLast []byte // bytes of the last snapshot cut by a /proc open
 }
 
 // TTYIntHandler returns the synthesized tty interrupt handler's code
@@ -82,6 +85,8 @@ func Install(k *kernel.Kernel) *IO {
 	io.installAD()
 	io.installDisk()
 	io.installNet()
+	io.installProc()
+	io.wireIOMetrics()
 
 	k.OpenHook = io.open
 	k.CloseHook = io.close
@@ -168,6 +173,9 @@ func (io *IO) open(k *kernel.Kernel, t *kernel.Thread, name string) (int32, bool
 	case fs.SpecialDisk:
 		read, write = io.synthDiskFile(t, fd, f)
 		kind = "diskfile"
+	case fs.SpecialMetrics:
+		read, write = io.synthProcRead(t, fd, f), 0
+		kind = "proc"
 	default:
 		read, write = io.synthFile(t, fd, f)
 		kind = "file"
@@ -176,6 +184,7 @@ func (io *IO) open(k *kernel.Kernel, t *kernel.Thread, name string) (int32, bool
 	// Reset the descriptor's position cell.
 	k.M.Poke(kernel.FDCell(t.TTE, int(fd), kernel.FDPos), 4, 0)
 	io.installFD(t, fd, read, write)
+	io.registerFDMetrics(t, fd)
 	return fd, true
 }
 
@@ -186,9 +195,13 @@ func (io *IO) close(k *kernel.Kernel, t *kernel.Thread, fd int32) bool {
 	if t == nil || fd < 0 || int(fd) >= kernel.MaxFD || t.FDs[fd].Kind == "" {
 		return false
 	}
-	if t.FDs[fd].Kind == "sock" {
+	switch t.FDs[fd].Kind {
+	case "sock":
 		io.closeSocket(t, fd)
+	case "proc":
+		io.closeProc(t, fd)
 	}
+	io.unregisterFDMetrics(t, fd)
 	io.installFD(t, fd, 0, 0)
 	t.FDs[fd] = kernel.FDInfo{}
 	return true

@@ -3,6 +3,7 @@ package kio
 import (
 	"fmt"
 
+	"synthesis/internal/kernel"
 	"synthesis/internal/metrics"
 )
 
@@ -74,4 +75,79 @@ func (w *Watchdog) wireWatchdogMetrics() {
 	w.mEvents = reg.Counter("kio.net.recovery_events")
 	w.mThrottled = reg.Gauge("kio.net.throttled")
 	w.mGeneric = reg.Gauge("kio.net.generic_fallback")
+}
+
+// wireIOMetrics registers the remaining device subsystems' cells as
+// sampled metrics (previously they were visible only as raw VM cells):
+// the tty input queue, the disk server, and the host-side block
+// cursor. Called once from Install, after the device servers exist.
+func (io *IO) wireIOMetrics() {
+	reg := io.reg()
+	if reg == nil {
+		return
+	}
+	m := io.K.M
+	ttyQ := io.ttyQ
+	reg.Sample("kio.tty.rx_chars", func() uint64 {
+		return uint64(m.Peek(ttyQ+KQGauge, 4))
+	})
+	reg.SampleGauge("kio.tty.queue_depth", func() float64 {
+		d := int32(m.Peek(ttyQ+KQHead, 4)) - int32(m.Peek(ttyQ+KQTail, 4))
+		if d < 0 {
+			d += ttyQueueBytes
+		}
+		return float64(d)
+	})
+	reg.Sample("kio.disk.blocks_resident", func() uint64 {
+		return uint64(io.nextDiskBlock)
+	})
+	reg.SampleGauge("kio.disk.reader_parked", func() float64 {
+		if m.Peek(io.diskWait, 4) != 0 {
+			return 1
+		}
+		return 0
+	})
+}
+
+// registerPipeMetrics serves one pipe's queue cells; idx is the pipe's
+// index in creation order. Pipes are never torn down (their queues are
+// abandoned like synthesized code), so there is no unregister side.
+func (io *IO) registerPipeMetrics(p *Pipe, idx int) {
+	reg := io.reg()
+	if reg == nil {
+		return
+	}
+	m := io.K.M
+	q := p.Q
+	pre := fmt.Sprintf("kio.pipe.%d.", idx)
+	reg.SampleGauge(pre+"depth", func() float64 { return float64(q.Len(m)) })
+	reg.Sample(pre+"bytes", func() uint64 { return uint64(m.Peek(q.Addr+KQGauge, 4)) })
+}
+
+// fdPrefix names one descriptor's metrics: kio.fd.<thread>.<n>.*.
+func fdPrefix(t *kernel.Thread, fd int32) string {
+	return fmt.Sprintf("kio.fd.%s.%d.", t.Name, fd)
+}
+
+// registerFDMetrics serves the descriptor's byte gauge (the cell every
+// synthesized read/write bumps for the fine-grain scheduler) as a
+// sampled metric, tagged with what the descriptor is open on.
+func (io *IO) registerFDMetrics(t *kernel.Thread, fd int32) {
+	reg := io.reg()
+	if reg == nil {
+		return
+	}
+	m := io.K.M
+	cell := kernel.FDCell(t.TTE, int(fd), kernel.FDGauge)
+	reg.Sample(fdPrefix(t, fd)+"bytes", func() uint64 {
+		return uint64(m.Peek(cell, 4))
+	})
+}
+
+// unregisterFDMetrics drops a descriptor's sampled metrics on close,
+// so a reused slot never serves a stale cell.
+func (io *IO) unregisterFDMetrics(t *kernel.Thread, fd int32) {
+	if reg := io.reg(); reg != nil {
+		reg.UnregisterPrefix(fdPrefix(t, fd))
+	}
 }

@@ -26,6 +26,7 @@ type Pipe struct {
 func (io *IO) NewPipe(size int32) *Pipe {
 	p := &Pipe{Q: io.NewKQueue(size)}
 	io.pipes = append(io.pipes, p)
+	io.registerPipeMetrics(p, len(io.pipes)-1)
 	return p
 }
 
@@ -54,5 +55,6 @@ func (io *IO) OpenPipeEnd(t *kernel.Thread, p *Pipe, writeEnd bool) int32 {
 		t.FDs[fd] = kernel.FDInfo{Kind: "pipe-r", Aux: p.Q.Addr}
 	}
 	io.installFD(t, fd, read, write)
+	io.registerFDMetrics(t, fd)
 	return fd
 }

@@ -1,0 +1,33 @@
+package metrics
+
+import "bytes"
+
+// Snapshot-to-bytes rendering, shared by every exposition consumer.
+// The host tools (quamon -metrics-json / -prom) write snapshots to
+// files; the kernel's guest-visible metrics quaject (kio's
+// /proc/metrics) pokes the very same bytes into VM memory and serves
+// them through a synthesized read routine. Keeping both behind one
+// renderer is what makes the guest-read snapshot byte-identical to
+// the host export: there is exactly one way a Snapshot becomes text.
+
+// JSONBytes renders the snapshot as the indented JSON object that
+// WriteJSON emits (map keys sorted, trailing newline). This is the
+// payload a guest reads from /proc/metrics.
+func (s Snapshot) JSONBytes() ([]byte, error) {
+	var b bytes.Buffer
+	if err := s.WriteJSON(&b); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// PromBytes renders the snapshot in the Prometheus text exposition
+// format, as WritePrometheus emits. This is the payload a guest reads
+// from /proc/metrics.prom.
+func (s Snapshot) PromBytes() ([]byte, error) {
+	var b bytes.Buffer
+	if err := s.WritePrometheus(&b); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}

@@ -1,18 +1,3 @@
-// Package prof is the Quamachine measurement plane: per-region cycle
-// and instruction attribution, interrupt-latency histograms, and a
-// trace-event ring exportable as Chrome trace JSON.
-//
-// Section 6.1 of the paper measures everything on the Quamachine's
-// built-in instrumentation — microsecond timer, instruction and
-// memory-reference counters, tracing hardware. The VM counterpart is
-// a Probe attached to the m68k machine: every instruction step is
-// attributed to the registered code region containing its PC, so the
-// aggregate cycle counts behind Tables 1-6 decompose into named
-// quaject routines (e.g. kio.sock3.send) instead of one opaque total.
-//
-// Attachment is optional and costs nothing when absent: the machine's
-// step loop checks a single nil interface before doing any probe
-// work.
 package prof
 
 import (

@@ -37,7 +37,41 @@ const (
 
 // Install synthesizes the emulator gate and installs it at trap #0 in
 // the prototype vector table and every live thread.
+//
+// When the kernel has a metrics registry attached, the gate is emitted
+// with one per-syscall counter cell bumped inside each branch, served
+// as unixemu.sys.<name>.calls sampled metrics — the same stitched-cell
+// self-measurement the synthesizer's Counted() option uses. Without a
+// registry no cells exist and the generated gate is byte-identical to
+// the uninstrumented one, so the Table 2 emulation-overhead numbers
+// are unaffected.
 func Install(k *kernel.Kernel) uint32 {
+	count := func(e *synth.Emitter, name string) {}
+	if k.Metrics != nil {
+		m := k.M
+		cells := make(map[string]uint32)
+		for _, n := range []string{
+			"exit", "read", "write", "open", "close",
+			"lseek", "pipe", "socket", "unknown",
+		} {
+			cell, err := k.Heap.Alloc(4)
+			if err != nil {
+				break
+			}
+			m.Poke(cell, 4, 0)
+			cells[n] = cell
+			c := cell
+			k.Metrics.Sample("unixemu.sys."+n+".calls", func() uint64 {
+				return uint64(m.Peek(c, 4))
+			})
+		}
+		count = func(e *synth.Emitter, name string) {
+			if cell := cells[name]; cell != 0 {
+				e.AddL(m68k.Imm(1), m68k.Abs(cell))
+			}
+		}
+	}
+
 	gate := k.C.Synthesize(nil, "unix_gate", nil, func(e *synth.Emitter) {
 		// read: shuffle (fd,buf,len) from D1-D3 to the native
 		// convention (buf D1, len D2) and tail-jump into the
@@ -46,6 +80,7 @@ func Install(k *kernel.Kernel) uint32 {
 		// an equivalent Synthesis kernel call".
 		e.CmpL(m68k.Imm(SysRead), m68k.D(0))
 		e.Bne("notread")
+		count(e, "read")
 		e.MoveL(m68k.Abs(kernel.GCurTTE), m68k.A(0))
 		e.MoveL(m68k.D(1), m68k.D(0)) // fd
 		e.MoveL(m68k.D(2), m68k.D(1)) // buf
@@ -57,6 +92,7 @@ func Install(k *kernel.Kernel) uint32 {
 
 		e.CmpL(m68k.Imm(SysWrite), m68k.D(0))
 		e.Bne("notwrite")
+		count(e, "write")
 		e.MoveL(m68k.Abs(kernel.GCurTTE), m68k.A(0))
 		e.MoveL(m68k.D(1), m68k.D(0))
 		e.MoveL(m68k.D(2), m68k.D(1))
@@ -72,41 +108,48 @@ func Install(k *kernel.Kernel) uint32 {
 		// emulation layer itself).
 		e.CmpL(m68k.Imm(SysOpen), m68k.D(0))
 		e.Bne("notopen")
+		count(e, "open")
 		e.MoveL(m68k.Imm(kernel.SysOpen), m68k.D(0))
 		e.Jmp(k.DispatchRoutine())
 		e.Label("notopen")
 
 		e.CmpL(m68k.Imm(SysClose), m68k.D(0))
 		e.Bne("notclose")
+		count(e, "close")
 		e.MoveL(m68k.Imm(kernel.SysClose), m68k.D(0))
 		e.Jmp(k.DispatchRoutine())
 		e.Label("notclose")
 
 		e.CmpL(m68k.Imm(SysPipe), m68k.D(0))
 		e.Bne("notpipe")
+		count(e, "pipe")
 		e.MoveL(m68k.Imm(kernel.SysPipe), m68k.D(0))
 		e.Jmp(k.DispatchRoutine())
 		e.Label("notpipe")
 
 		e.CmpL(m68k.Imm(SysExit), m68k.D(0))
 		e.Bne("notexit")
+		count(e, "exit")
 		e.MoveL(m68k.Imm(kernel.SysExit), m68k.D(0))
 		e.Jmp(k.DispatchRoutine())
 		e.Label("notexit")
 
 		e.CmpL(m68k.Imm(SysLseek), m68k.D(0))
 		e.Bne("notseek")
+		count(e, "lseek")
 		e.MoveL(m68k.Imm(kernel.SysSeek), m68k.D(0))
 		e.Jmp(k.DispatchRoutine())
 		e.Label("notseek")
 
 		e.CmpL(m68k.Imm(SysSocket), m68k.D(0))
 		e.Bne("notsock")
+		count(e, "socket")
 		e.MoveL(m68k.Imm(kernel.SysSock), m68k.D(0))
 		e.Jmp(k.DispatchRoutine())
 		e.Label("notsock")
 
 		// Unknown syscall: error return.
+		count(e, "unknown")
 		e.MoveL(m68k.Imm(-1), m68k.D(0))
 		e.Rte()
 	})

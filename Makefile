@@ -6,16 +6,20 @@
 # detector; it is bounded (seconds) and deterministic, so a failure
 # replays. `make profile` runs one Table 1 program under the profiler
 # and emits a Chrome trace (load trace.json in about:tracing or
-# ui.perfetto.dev). `make bench-json` regenerates every table as
-# machine-readable BENCH_*.json artifacts in bench/out; `make
-# benchdiff` compares them against the committed bench/baseline set
-# (warn-only — drop -warn-only in the benchdiff target for a hard perf
-# gate). Refresh the baseline with `make bench-baseline` when a change
-# legitimately moves the numbers.
+# ui.perfetto.dev). `make cluster-soak` runs the bounded 2-VM fleet
+# soak (churn under live traffic) and the re-echo regression test
+# under the race detector. `make bench-json` regenerates every table
+# as machine-readable BENCH_*.json artifacts in bench/out (three runs
+# per table, so each row carries its min/median/max spread); `make
+# benchdiff` gates them against the committed bench/baseline set: a
+# deterministic row that moved past the threshold fails, while the
+# wall-clock cluster table is warn-listed and its medians get a noise
+# band over the recorded spread. Refresh the baseline with `make
+# bench-baseline` when a change legitimately moves the numbers.
 
 GO ?= go
 
-.PHONY: tier1 race soak bench tables profile bench-json benchdiff bench-baseline
+.PHONY: tier1 race soak cluster-soak bench tables profile bench-json benchdiff bench-baseline
 
 tier1:
 	$(GO) build ./...
@@ -31,6 +35,10 @@ soak:
 		./internal/kio/
 	$(GO) test -race -count 1 -timeout 120s -run 'TestConcurrentFullEmptyRaces' ./internal/queue/
 
+cluster-soak:
+	$(GO) test -race -count 1 -timeout 180s \
+		-run 'TestClusterSoak|TestNoReecho|TestSnapshotDuringRun' ./internal/cluster/
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
 
@@ -41,10 +49,10 @@ profile:
 	$(GO) run ./cmd/synbench -profile-run "open-close tty" -top 15 -trace-json trace.json
 
 bench-json:
-	$(GO) run ./cmd/synbench -json bench/out
+	$(GO) run ./cmd/synbench -json bench/out -runs 3
 
 benchdiff:
-	$(GO) run ./cmd/benchdiff -warn-only bench/baseline bench/out
+	$(GO) run ./cmd/benchdiff -noise 2 -warn-tables cluster bench/baseline bench/out
 
 bench-baseline:
-	$(GO) run ./cmd/synbench -json bench/baseline
+	$(GO) run ./cmd/synbench -json bench/baseline -runs 3

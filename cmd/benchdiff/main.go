@@ -6,12 +6,20 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold 10] [-warn-only] <baseline-dir> <new-dir>
+//	benchdiff [-threshold 10] [-noise 2] [-warn-tables cluster] [-warn-only] <baseline-dir> <new-dir>
 //
-// Exit status: 0 when no row regressed (or -warn-only), 1 on
-// regression, 2 on usage or artifact errors. CI runs it warn-only
-// against the committed bench/baseline artifacts; drop -warn-only to
-// turn the perf gate hard.
+// Rows whose baseline artifact carries a min/max spread (written by
+// `synbench -runs N`) are gated on the median with a noise band: past
+// the threshold, the fresh median must also land outside the observed
+// spread by more than -noise percent before it counts. -warn-tables
+// names tables (comma-separated) whose regressions are reported but
+// never fail the run — the escape hatch for wall-clock tables like
+// `cluster`.
+//
+// Exit status: 0 when no gating row regressed (or -warn-only), 1 on
+// regression, 2 on usage or artifact errors. CI runs the gate hard
+// against the committed bench/baseline artifacts with the cluster
+// table warn-listed; -warn-only downgrades everything to warnings.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"synthesis/internal/bench"
 )
@@ -34,6 +43,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	threshold := fs.Float64("threshold", 10,
 		"percent a row may move in its worse direction before it counts as a regression")
+	noise := fs.Float64("noise", 2,
+		"extra percent past the baseline's recorded min/max spread a multi-run row may move before it gates")
+	warnTables := fs.String("warn-tables", "",
+		"comma-separated tables whose regressions warn but never fail the run")
 	warnOnly := fs.Bool("warn-only", false, "report regressions but exit 0 anyway")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: benchdiff [flags] <baseline-dir> <new-dir>\n")
@@ -56,8 +69,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchdiff: new run: %v\n", err)
 		return 2
 	}
-	res := bench.DiffTables(base, fresh, *threshold)
+	opt := bench.DiffOptions{ThresholdPct: *threshold, NoisePct: *noise}
+	if *warnTables != "" {
+		opt.WarnTables = make(map[string]bool)
+		for _, t := range strings.Split(*warnTables, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				opt.WarnTables[bench.Resolve(t)] = true
+			}
+		}
+	}
+	res := bench.DiffTablesOpt(base, fresh, opt)
 	fmt.Fprint(stdout, res.Format())
+	if res.Warnings > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d warn-only regression(s) in {%s}\n", res.Warnings, *warnTables)
+	}
 	if res.Regressions > 0 {
 		if *warnOnly {
 			fmt.Fprintf(stderr, "benchdiff: %d regression(s) past %.1f%% (warn-only)\n",

@@ -92,3 +92,93 @@ func TestBenchdiffUsageErrors(t *testing.T) {
 		t.Fatalf("empty dirs exit = %d, want 2", code)
 	}
 }
+
+// A multi-run baseline records its min/max spread; a fresh median past
+// the threshold but inside that spread plus the noise band must not
+// gate — that is the whole point of gating wall-clock rows on medians.
+func TestBenchdiffNoiseBandAbsorbsSpread(t *testing.T) {
+	noisy := bench.Table{
+		Title: "Table 1: system-call times",
+		Rows: []bench.Row{
+			// Median 100, observed up to 118 across runs.
+			{Name: "wall-clock latency", Measured: 100, Min: 92, Max: 118, Unit: "usec"},
+		},
+	}
+	baseDir := writeSet(t, noisy)
+
+	fresh := noisy
+	fresh.Rows = []bench.Row{{Name: "wall-clock latency", Measured: 119, Unit: "usec"}}
+	newDir := writeSet(t, fresh)
+
+	// +19% vs the median is past the 10% threshold, but only ~0.8%
+	// past the worst observed run — inside the 2% noise band.
+	var out, errb bytes.Buffer
+	if code := run([]string{"-threshold", "10", "-noise", "2", baseDir, newDir}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0 (inside noise band)\nstdout:\n%s", code, out.String())
+	}
+
+	// Shrink the band to zero and the same row gates.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-threshold", "10", "-noise", "0", baseDir, newDir}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1 (outside spread, no noise allowance)\nstdout:\n%s", code, out.String())
+	}
+}
+
+// Rows without a recorded spread (single-run baselines) are gated by
+// the threshold alone — the noise band never applies.
+func TestBenchdiffNoiseIgnoredWithoutSpread(t *testing.T) {
+	baseDir := writeSet(t, baselineTable())
+	inflated := baselineTable()
+	inflated.Rows[0].Measured *= 1.5
+	newDir := writeSet(t, inflated)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-threshold", "10", "-noise", "50", baseDir, newDir}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1 (no spread recorded, noise must not apply)\nstdout:\n%s", code, out.String())
+	}
+}
+
+// -warn-tables downgrades a named table's regressions to warnings
+// (reported, exit 0) while other tables still gate; aliases resolve.
+func TestBenchdiffWarnTables(t *testing.T) {
+	tab := bench.Table{
+		Title: "Table 8. Cluster fabric",
+		Rows:  []bench.Row{{Name: "aggregate", Measured: 1000, Unit: "fr/s"}},
+	}
+	dirFor := func(t *testing.T, name string, tab bench.Table) string {
+		t.Helper()
+		dir := t.TempDir()
+		if _, err := bench.WriteArtifact(dir, name, tab); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	baseDir := dirFor(t, "cluster", tab)
+	dropped := tab
+	dropped.Rows = []bench.Row{{Name: "aggregate", Measured: 400, Unit: "fr/s"}}
+	newDir := dirFor(t, "cluster", dropped)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-warn-tables", "cluster", baseDir, newDir}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0 (cluster warn-listed)\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "warn-only regression") {
+		t.Fatalf("warn-listed regression not reported:\n%s", errb.String())
+	}
+
+	// The alias "8" names the same table.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-warn-tables", "8", baseDir, newDir}, &out, &errb); code != 0 {
+		t.Fatalf("alias warn-tables exit = %d, want 0\nstderr:\n%s", code, errb.String())
+	}
+
+	// Without the warn list the same drop gates.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{baseDir, newDir}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1 (not warn-listed)", code)
+	}
+}

@@ -1,0 +1,116 @@
+// Cluster mode: `quamon -cluster` boots an N-Quamachine fleet on the
+// switch fabric (internal/cluster), drives it with the host load
+// generator, and streams wall-clock metric windows in the same format
+// as -watch. With -listen the live fleet is scrapeable over HTTP
+// while it runs:
+//
+//	GET /metrics       Prometheus text exposition
+//	GET /metrics.json  the same snapshot as JSON
+//
+// Cluster windows are wall time, not simulated time: the fleet runs
+// on real goroutines and the load generator stamps RTTs with the host
+// clock. With -windows 0 the fleet runs until interrupted (^C), which
+// is the mode to pair with -listen and an external scraper.
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"synthesis/internal/cluster"
+)
+
+// clusterOpts carries the -cluster flag set.
+type clusterOpts struct {
+	vms, conns, churn int
+	seed              int64
+	listen            string
+	intervalUS        float64
+	windows           int
+	metricsJSON, prom string
+}
+
+// clusterMux serves the live cluster's metrics. Snapshot() quiesces
+// each VM briefly, so every scrape is a coherent fleet-wide view.
+func clusterMux(c *cluster.Cluster) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := c.Snapshot().WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := c.Snapshot().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+func runCluster(o clusterOpts) int {
+	c := cluster.New(cluster.Config{
+		VMs:     o.vms,
+		Conns:   o.conns,
+		// Long-running monitoring favors patient clients for the same
+		// reason the cluster bench table does: under heavy load the
+		// queueing RTT can exceed an impatient resend timeout, and the
+		// resulting resend storm is congestion collapse, not insight.
+		Timeout:    500 * time.Millisecond,
+		ChurnEvery: o.churn,
+		Seed:       o.seed,
+	})
+	c.Start()
+	defer c.Stop()
+
+	if o.listen != "" {
+		srv := &http.Server{Addr: o.listen, Handler: clusterMux(c)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "quamon: -listen: %v\n", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("serving fleet metrics on http://%s/metrics (and /metrics.json)\n", o.listen)
+	}
+
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	defer signal.Stop(interrupt)
+
+	interval := time.Duration(o.intervalUS) * time.Microsecond
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	if o.windows > 0 {
+		fmt.Printf("cluster: %d VM(s), %d connection(s), %d windows of %v wall\n\n",
+			o.vms, o.conns, o.windows, interval)
+	} else {
+		fmt.Printf("cluster: %d VM(s), %d connection(s), windows of %v wall until interrupted\n\n",
+			o.vms, o.conns, interval)
+	}
+
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	prev := c.Snapshot()
+	for w := 1; o.windows <= 0 || w <= o.windows; w++ {
+		select {
+		case <-tick.C:
+		case <-interrupt:
+			fmt.Println("interrupted")
+			return exportSnapshot(c.Snapshot(), o.metricsJSON, o.prom)
+		}
+		if err := c.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "quamon: cluster: %v\n", err)
+			return 1
+		}
+		snap := c.Snapshot()
+		printWindow(w, snap, snap.Delta(prev))
+		prev = snap
+	}
+	return exportSnapshot(c.Snapshot(), o.metricsJSON, o.prom)
+}

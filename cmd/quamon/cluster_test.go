@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"synthesis/internal/cluster"
+)
+
+// The -listen acceptance path: a live fleet's metrics must be
+// scrapeable over HTTP as Prometheus text and as JSON, with the
+// per-VM prefixes intact.
+func TestClusterMuxServesFleetMetrics(t *testing.T) {
+	c := cluster.New(cluster.Config{VMs: 1, Conns: 8, Seed: 1})
+	c.Start()
+	defer c.Stop()
+
+	srv := httptest.NewServer(clusterMux(c))
+	defer srv.Close()
+
+	// Let some echo traffic flow so the counters are nonzero.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Replies() == 0 && time.Now().Before(deadline) {
+		if err := c.Err(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	prom, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+	for _, want := range []string{"cluster_fabric_routed", "cluster_loadgen_replies", "vm1_"} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %q:\n%.400s", want, prom)
+		}
+	}
+
+	body, ctype := get("/metrics.json")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/metrics.json content type = %q", ctype)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json is not valid JSON: %v", err)
+	}
+}

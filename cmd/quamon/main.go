@@ -20,6 +20,13 @@
 //	quamon -watch -interval-us 1000 -windows 20 -prom metrics.prom
 //	quamon -watch -program procread      # named bench workload instead
 //	quamon -watch -program workload.s    # or an assembly text file
+//	quamon -cluster -vms 4 -conns 128    # boot a fleet on the switch fabric
+//	quamon -cluster -windows 0 -listen :9090   # serve live fleet metrics over HTTP
+//
+// -cluster boots N Quamachines bridged by the switch fabric under
+// multiplexed echo load (the Table 8 rig) and streams wall-clock
+// metric windows; -listen serves the live fleet's metrics over HTTP
+// as Prometheus text (/metrics) and JSON (/metrics.json).
 //
 // -watch boots the full kernel (network, UNIX emulator, watchdog),
 // drives a workload, and streams metric deltas every -interval-us of
@@ -63,8 +70,16 @@ func main() {
 	program := flag.String("program", "",
 		"workload for -watch: a named bench program ("+strings.Join(bench.WatchProgramNames(), ",")+
 			") or an assembly text file; default is the loopback socket exchange")
-	intervalUS := flag.Float64("interval-us", 2000, "simulated microseconds per -watch sampling window")
-	windows := flag.Int("windows", 8, "number of -watch windows before stopping")
+	intervalUS := flag.Float64("interval-us", 2000,
+		"microseconds per sampling window: simulated time for -watch, wall time for -cluster (default 500000 there)")
+	windows := flag.Int("windows", 8, "number of -watch/-cluster windows before stopping (0 with -cluster: run until ^C)")
+	clusterMode := flag.Bool("cluster", false, "boot an N-Quamachine fleet on the switch fabric under echo load")
+	vms := flag.Int("vms", 4, "Quamachine count for -cluster")
+	conns := flag.Int("conns", 128, "logical connection count for -cluster")
+	churn := flag.Int("churn", 0, "with -cluster, close and reopen each guest socket every N echoes (0 = never)")
+	seed := flag.Int64("seed", 1, "payload seed for the -cluster load generator")
+	listen := flag.String("listen", "",
+		"with -cluster, serve live fleet metrics over HTTP on this address (/metrics Prometheus text, /metrics.json)")
 	metricsJSON := flag.String("metrics-json", "", "write the final metrics snapshot as JSON here (\"-\" for stdout)")
 	promOut := flag.String("prom", "", "write the final metrics snapshot as Prometheus text here (\"-\" for stdout)")
 	defaultUsage := flag.Usage
@@ -84,6 +99,30 @@ func main() {
 	if *program != "" && !*watch {
 		fmt.Fprintln(os.Stderr, "quamon: -program requires -watch")
 		os.Exit(2)
+	}
+	if *listen != "" && !*clusterMode {
+		fmt.Fprintln(os.Stderr, "quamon: -listen requires -cluster")
+		os.Exit(2)
+	}
+	if *clusterMode {
+		if *faults != "" {
+			fmt.Fprintln(os.Stderr, "quamon: -faults is not supported with -cluster")
+			os.Exit(2)
+		}
+		// The -watch default window (2ms simulated) is far too fine for
+		// wall-clock fleet sampling; only an explicit -interval-us
+		// overrides the 500ms cluster default.
+		iv := 500_000.0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "interval-us" {
+				iv = *intervalUS
+			}
+		})
+		os.Exit(runCluster(clusterOpts{
+			vms: *vms, conns: *conns, churn: *churn, seed: *seed,
+			listen: *listen, intervalUS: iv, windows: *windows,
+			metricsJSON: *metricsJSON, prom: *promOut,
+		}))
 	}
 	if *watch {
 		os.Exit(runWatch(*intervalUS, *windows, *program, int32(*iters),
@@ -190,7 +229,7 @@ func main() {
 		}
 	}
 
-	if rc := exportSnapshot(reg, *metricsJSON, *promOut); rc != 0 {
+	if rc := exportSnapshot(reg.Snapshot(), *metricsJSON, *promOut); rc != 0 {
 		os.Exit(rc)
 	}
 

@@ -155,7 +155,7 @@ func runWatch(intervalUS float64, windows int, program string, iters int32, faul
 			return 1
 		}
 	}
-	return exportSnapshot(reg, metricsJSON, promOut)
+	return exportSnapshot(reg.Snapshot(), metricsJSON, promOut)
 }
 
 // printWindow streams one delta: the busiest counters as rates, any
@@ -221,7 +221,7 @@ func printWindow(w int, snap metrics.Snapshot, d metrics.Delta) {
 
 // exportSnapshot writes the final snapshot in the requested formats
 // ("-" selects stdout).
-func exportSnapshot(reg *metrics.Registry, metricsJSON, promOut string) int {
+func exportSnapshot(snap metrics.Snapshot, metricsJSON, promOut string) int {
 	write := func(path, what string, emit func(f *os.File) error) int {
 		f := os.Stdout
 		if path != "-" {
@@ -242,7 +242,6 @@ func exportSnapshot(reg *metrics.Registry, metricsJSON, promOut string) int {
 		}
 		return 0
 	}
-	snap := reg.Snapshot()
 	if metricsJSON != "" {
 		if rc := write(metricsJSON, "metrics JSON", func(f *os.File) error {
 			return snap.WriteJSON(f)

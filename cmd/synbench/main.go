@@ -35,8 +35,10 @@ import (
 
 func main() {
 	table := flag.String("table", "all",
-		"which table to regenerate: all or one of "+strings.Join(bench.Names(), ","))
-	iters := flag.Int("iters", 200, "loop count for the Table 1 programs")
+		"which table to regenerate: all or one of "+strings.Join(bench.Names(), ",")+
+			" (8 is an alias for cluster)")
+	iters := flag.Int("iters", 200, "loop count for the Table 1 programs (for the cluster table: measurement window in ms)")
+	runs := flag.Int("runs", 1, "generate each table this many times; rows report the median with min/max spread")
 	profile := flag.Bool("profile", false, "attach the profiler to Table 1 runs (adds a coverage row)")
 	profileRun := flag.String("profile-run", "",
 		"run one Table 1 program profiled and report attribution: one of "+
@@ -87,9 +89,12 @@ func main() {
 	cfg := bench.RunConfig{Iters: int32(*iters), Profile: *profile, FaultSpec: *faults, FaultSeed: *faultSeed}
 	names := bench.Names()
 	if *table != "all" {
+		// Aliases ("8" -> "cluster") resolve to their canonical name,
+		// so the artifact filename is the canonical one either way.
+		want := bench.Resolve(*table)
 		found := false
 		for _, n := range names {
-			if n == *table {
+			if n == want {
 				found = true
 			}
 		}
@@ -97,10 +102,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "synbench: unknown table %q\n", *table)
 			os.Exit(2)
 		}
-		names = []string{*table}
+		names = []string{want}
 	}
 	for _, name := range names {
-		t, err := bench.Run(name, cfg)
+		t, err := bench.RunN(name, cfg, *runs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "synbench: table %s: %v\n", name, err)
 			os.Exit(1)

@@ -33,15 +33,37 @@ type RowDiff struct {
 	Base, New  float64
 	DeltaPct   float64 // signed percent change, worse direction positive
 	Regressed  bool
+	WarnOnly   bool // regressed, but its table is on the warn list
 }
 
 // DiffResult is the full comparison.
 type DiffResult struct {
 	ThresholdPct float64
 	Rows         []RowDiff
-	Regressions  int
+	Regressions  int      // regressed rows that gate (exit nonzero)
+	Warnings     int      // regressed rows in warn-only tables
 	OnlyBase     []string // "table/row" present only in the baseline
 	OnlyNew      []string // "table/row" present only in the new run
+}
+
+// DiffOptions tunes the regression gate beyond the bare threshold.
+type DiffOptions struct {
+	// ThresholdPct is how far a row's median may move in its worse
+	// direction before it counts as a regression.
+	ThresholdPct float64
+	// NoisePct widens the gate for rows whose baseline artifact
+	// carries a min/max spread (written by RunN / `synbench -runs N`):
+	// such a row regresses only if, past the threshold, the fresh
+	// median also lands outside the baseline's observed worst bound by
+	// more than NoisePct. Wall-clock tables flap run to run; the
+	// spread says how much of that movement is noise, and NoisePct is
+	// the extra allowance on top. Rows without a recorded spread are
+	// gated by the threshold alone.
+	NoisePct float64
+	// WarnTables lists tables (by registry name) whose regressions are
+	// reported and counted in Warnings but never in Regressions —
+	// the warn-only escape hatch for nondeterministic tables.
+	WarnTables map[string]bool
 }
 
 // LoadArtifactDir decodes every BENCH_*.json in dir, keyed by
@@ -70,11 +92,39 @@ func LoadArtifactDir(dir string) (map[string]Table, error) {
 	return tables, nil
 }
 
+// withinNoise reports whether a fresh median that moved past the
+// threshold still lands inside the baseline's observed run-to-run
+// spread plus the noise allowance, and so should not gate. Only rows
+// whose baseline recorded a spread (RunN artifacts) qualify.
+func withinNoise(br, nr Row, noisePct float64) bool {
+	if br.Min == 0 && br.Max == 0 {
+		return false // single-run baseline: no spread recorded
+	}
+	// The worst value the baseline was ever observed to produce.
+	worst := br.Max
+	if higherIsBetter(br.Unit) {
+		worst = br.Min
+	}
+	if worst == 0 {
+		return false
+	}
+	beyond := 100 * (nr.Measured - worst) / worst
+	if higherIsBetter(br.Unit) {
+		beyond = -beyond
+	}
+	return beyond <= noisePct
+}
+
 // DiffTables compares a fresh run against a baseline. A row regresses
 // when it moved more than thresholdPct in its unit's worse direction;
 // DeltaPct is normalized so positive always means worse.
 func DiffTables(base, fresh map[string]Table, thresholdPct float64) DiffResult {
-	res := DiffResult{ThresholdPct: thresholdPct}
+	return DiffTablesOpt(base, fresh, DiffOptions{ThresholdPct: thresholdPct})
+}
+
+// DiffTablesOpt is DiffTables with the full gate configuration.
+func DiffTablesOpt(base, fresh map[string]Table, opt DiffOptions) DiffResult {
+	res := DiffResult{ThresholdPct: opt.ThresholdPct}
 	names := make([]string, 0, len(base))
 	for n := range base {
 		names = append(names, n)
@@ -107,7 +157,10 @@ func DiffTables(base, fresh map[string]Table, thresholdPct float64) DiffResult {
 					pct = -pct
 				}
 				d.DeltaPct = pct
-				d.Regressed = pct > thresholdPct
+				d.Regressed = pct > opt.ThresholdPct
+				if d.Regressed && withinNoise(br, nr, opt.NoisePct) {
+					d.Regressed = false
+				}
 			} else if nr.Measured != 0 {
 				// A zero baseline that became nonzero counts as a
 				// regression only when lower is better (e.g. error counts).
@@ -115,7 +168,12 @@ func DiffTables(base, fresh map[string]Table, thresholdPct float64) DiffResult {
 				d.Regressed = !higherIsBetter(br.Unit)
 			}
 			if d.Regressed {
-				res.Regressions++
+				if opt.WarnTables[tn] {
+					d.WarnOnly = true
+					res.Warnings++
+				} else {
+					res.Regressions++
+				}
 			}
 			res.Rows = append(res.Rows, d)
 		}
@@ -150,7 +208,10 @@ func (res DiffResult) Format() string {
 	})
 	for _, d := range rows {
 		flag := " "
-		if d.Regressed {
+		switch {
+		case d.WarnOnly:
+			flag = "~"
+		case d.Regressed:
 			flag = "!"
 		}
 		fmt.Fprintf(&b, "%-12s %-42s %12.2f %12.2f %+8.1f%% %-6s %s\n",
@@ -162,7 +223,7 @@ func (res DiffResult) Format() string {
 	for _, n := range res.OnlyNew {
 		fmt.Fprintf(&b, "only in new run:  %s\n", n)
 	}
-	fmt.Fprintf(&b, "%d rows compared, %d regressed (threshold %.1f%%, worse direction positive)\n",
-		len(res.Rows), res.Regressions, res.ThresholdPct)
+	fmt.Fprintf(&b, "%d rows compared, %d regressed, %d warn-only (threshold %.1f%%, worse direction positive)\n",
+		len(res.Rows), res.Regressions, res.Warnings, res.ThresholdPct)
 	return b.String()
 }

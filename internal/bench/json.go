@@ -31,6 +31,8 @@ type rowJSON struct {
 	Name     string  `json:"name"`
 	Paper    float64 `json:"paper,omitempty"`
 	Measured float64 `json:"measured"`
+	Min      float64 `json:"min,omitempty"`
+	Max      float64 `json:"max,omitempty"`
 	Unit     string  `json:"unit"`
 	Note     string  `json:"note,omitempty"`
 }

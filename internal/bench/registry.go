@@ -31,6 +31,11 @@ type TableFunc func(RunConfig) (Table, error)
 
 var registry = map[string]TableFunc{}
 
+// aliases maps alternate invocation names onto canonical registry
+// names ("8" -> "cluster"), so a table can live in the numbered
+// sequence without its artifact taking a numbered filename.
+var aliases = map[string]string{}
+
 // Register adds a table generator under a name ("1".."6", "pathlen",
 // ...). Duplicate names are a programming error.
 func Register(name string, fn TableFunc) {
@@ -38,6 +43,30 @@ func Register(name string, fn TableFunc) {
 		panic("bench: duplicate table registration: " + name)
 	}
 	registry[name] = fn
+}
+
+// RegisterAlias makes alias resolve to an already-registered
+// canonical name. The alias is accepted by Run/RunN but does not
+// appear in Names() and never names an artifact.
+func RegisterAlias(alias, canonical string) {
+	if _, dup := registry[alias]; dup {
+		panic("bench: alias collides with a registered table: " + alias)
+	}
+	if _, dup := aliases[alias]; dup {
+		panic("bench: duplicate alias registration: " + alias)
+	}
+	aliases[alias] = canonical
+}
+
+// Resolve maps an alias to its canonical registry name; unknown and
+// canonical names pass through unchanged. Callers that write
+// artifacts resolve first, so `-table 8` still lands in
+// BENCH_cluster.json.
+func Resolve(name string) string {
+	if c, ok := aliases[name]; ok {
+		return c
+	}
+	return name
 }
 
 // fixed adapts a parameterless generator to the registry signature.
@@ -73,7 +102,7 @@ func Names() []string {
 // parsed plan is staged so that every rig booted while the table
 // generates attaches a seeded injector (see attachFaults in rig.go).
 func Run(name string, cfg RunConfig) (Table, error) {
-	fn, ok := registry[name]
+	fn, ok := registry[Resolve(name)]
 	if !ok {
 		return Table{}, fmt.Errorf("bench: unknown table %q (have %v)", name, Names())
 	}
@@ -95,3 +124,49 @@ var (
 	activeFaults    *fault.Plan
 	activeFaultSeed int64
 )
+
+// RunN generates the named table runs times and aggregates per row:
+// Measured becomes the per-row median, Min/Max the observed spread.
+// Row identity is positional — a registered table is shape-stable for
+// a fixed config, so row i means the same experiment in every run.
+// With runs <= 1 this is exactly Run. This is how nondeterministic
+// (wall-clock) tables get a gateable central value: cmd/benchdiff
+// compares medians, and the spread rides along in the artifact.
+func RunN(name string, cfg RunConfig, runs int) (Table, error) {
+	if runs <= 1 {
+		return Run(name, cfg)
+	}
+	base, err := Run(name, cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	samples := make([][]float64, len(base.Rows))
+	for i, r := range base.Rows {
+		samples[i] = append(samples[i], r.Measured)
+	}
+	for n := 1; n < runs; n++ {
+		t, err := Run(name, cfg)
+		if err != nil {
+			return Table{}, err
+		}
+		if len(t.Rows) != len(base.Rows) {
+			return Table{}, fmt.Errorf("bench: table %q changed shape across runs (%d vs %d rows)",
+				name, len(t.Rows), len(base.Rows))
+		}
+		for i, r := range t.Rows {
+			samples[i] = append(samples[i], r.Measured)
+		}
+	}
+	for i := range base.Rows {
+		s := samples[i]
+		sort.Float64s(s)
+		base.Rows[i].Min = s[0]
+		base.Rows[i].Max = s[len(s)-1]
+		if n := len(s); n%2 == 1 {
+			base.Rows[i].Measured = s[n/2]
+		} else {
+			base.Rows[i].Measured = (s[n/2-1] + s[n/2]) / 2
+		}
+	}
+	return base, nil
+}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"synthesis/internal/cluster"
+)
+
+// Table 8: the fleet experiment. Not a paper table — the paper stops
+// at one Quamachine — but the direct test of its claim at scale: the
+// synthesized per-socket paths are unchanged while N kernels serve
+// multiplexed echo load across the switch fabric. Rates are wall-
+// clock on the host, so this table is nondeterministic by design; it
+// is generated via RunN for a median, and benchdiff treats it as
+// warn-only (the -warn-tables flag in the Makefile gate).
+//
+// Invoked as `synbench -table 8` (alias) or `-table cluster`
+// (canonical); the artifact is BENCH_cluster.json either way.
+
+func init() {
+	Register("cluster", table8)
+	RegisterAlias("8", "cluster")
+}
+
+// table8Shapes is the load sweep: VM count 1/2/4/8 at a fixed 32
+// connections per VM, then a connection sweep and a churn point at
+// 4 VMs.
+var table8Shapes = []struct {
+	vms, conns, churn int
+}{
+	{1, 32, 0},
+	{2, 64, 0},
+	{4, 128, 0},
+	{8, 256, 0},
+	{4, 512, 0},
+	{4, 128, 64},
+}
+
+func table8(cfg RunConfig) (Table, error) {
+	// Iters is the per-shape measurement window in wall milliseconds.
+	window := time.Duration(cfg.Iters) * time.Millisecond
+	if cfg.Iters <= 0 {
+		window = 200 * time.Millisecond
+	}
+	if window < 40*time.Millisecond {
+		window = 40 * time.Millisecond
+	}
+
+	t := Table{
+		Title: "Table 8. Cluster fabric: N Quamachines under multiplexed echo load",
+		Note: fmt.Sprintf("aggregate switched frames/sec and echo RTT quantiles over a %v wall window per shape; "+
+			"host wall-clock rates (nondeterministic): gate on the RunN median, warn-only in CI", window),
+	}
+	for _, sh := range table8Shapes {
+		c := cluster.New(cluster.Config{
+			VMs:          sh.vms,
+			SocketsPerVM: 8,
+			Conns:        sh.conns,
+			PayloadBytes: 64,
+			ChurnEvery:   sh.churn,
+			Seed:         1,
+			// Patient clients: at the heaviest shapes the queueing RTT
+			// exceeds the default 50ms resend timeout, and an impatient
+			// resend policy turns overload into congestion collapse
+			// (every reply arrives stale). The resend path still covers
+			// real loss (churn drops, ring overflow).
+			Timeout: 500 * time.Millisecond,
+		})
+		c.Start()
+		// Warm up until every logical connection has completed at least
+		// one round trip: connections whose first frames raced their
+		// socket's open sit out a resend timeout, so measuring earlier
+		// catches the boot transient, not the steady state. Bounded so
+		// a wedged fleet fails instead of hanging.
+		warmDeadline := time.Now().Add(5 * time.Second)
+		for c.ActiveConns() < sh.conns && time.Now().Before(warmDeadline) {
+			if err := c.Err(); err != nil {
+				c.Stop()
+				return Table{}, err
+			}
+			time.Sleep(time.Millisecond)
+		}
+		s0 := c.Snapshot()
+		time.Sleep(window)
+		s1 := c.Snapshot()
+		c.Stop()
+		if err := c.Err(); err != nil {
+			return Table{}, err
+		}
+
+		d := s1.Delta(s0)
+		rtt := d.Hists["cluster.loadgen.rtt_us"]
+		label := fmt.Sprintf("%d vm x %d conns", sh.vms, sh.conns)
+		note := fmt.Sprintf("%d sockets/vm", 8)
+		if sh.churn > 0 {
+			label += " churn"
+			note += fmt.Sprintf(", reopen every %d echoes", sh.churn)
+		}
+		t.Rows = append(t.Rows,
+			Row{Name: label + " aggregate", Measured: d.Rate("cluster.fabric.routed"),
+				Unit: "fr/s", Note: note},
+			Row{Name: label + " rtt p50", Measured: rtt.Quantile(0.50),
+				Unit: "us", Note: fmt.Sprintf("%d round trips in window", rtt.Count)},
+			Row{Name: label + " rtt p99", Measured: rtt.Quantile(0.99),
+				Unit: "us"},
+		)
+	}
+	return t, nil
+}

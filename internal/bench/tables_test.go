@@ -246,12 +246,15 @@ func TestTable7Shape(t *testing.T) {
 	// The watchdog must both engage and release within a few sampling
 	// windows (500 usec each). Release pays an extra window: the
 	// window the storm dies in still counts as stormy, so the gauge
-	// only reads quiet one full window later.
+	// only reads quiet one full window later. It can pay up to one
+	// more: the net handler runs to completion fully masked, so an
+	// alarm tick that lands mid-drain is deferred to the handler's
+	// RTE, sliding the window boundary late under coalesced storms.
 	if e := row(t, tab, "IRQ-storm throttle engage").Measured; e <= 0 || e > 3*500 {
 		t.Errorf("storm engage latency = %.0f usec, want within ~3 windows", e)
 	}
-	if e := row(t, tab, "IRQ-storm throttle release").Measured; e <= 0 || e > 4*500 {
-		t.Errorf("storm release latency = %.0f usec, want within ~4 windows", e)
+	if e := row(t, tab, "IRQ-storm throttle release").Measured; e <= 0 || e > 5*500 {
+		t.Errorf("storm release latency = %.0f usec, want within ~5 windows", e)
 	}
 }
 

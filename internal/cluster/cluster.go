@@ -1,0 +1,430 @@
+// Package cluster is the fleet harness: N Quamachines, each running
+// its own Synthesis kernel with synthesized per-socket I/O paths,
+// bridged by a Go switch fabric and driven by a host-side load
+// generator standing in for thousands of remote users.
+//
+// The fabric extends the 12-byte wire format upward instead of
+// changing it: a cluster address packs a node id into the high byte
+// of the 32-bit port word (net.MakeAddr), the fabric routes on that
+// byte, and pops it before a frame enters a VM — so the synthesized
+// receive handler's compare-immediate demux chains, the per-socket
+// send routines, and the NIC device are all byte-identical to the
+// single-machine configuration. Scale composes around the synthesized
+// code, never through it.
+//
+// Topology: star. Node 0 is the host (the load generator); VM nodes
+// are 1-based. Each VM runs one goroutine alternating between
+// draining its fabric ingress ring into the NIC (paced by the ring's
+// RxPending, so device backpressure is honored, not bypassed) and
+// executing a bounded cycle chunk. Egress rides the NIC's Tx hook:
+// the fabric's verdict lands in NetRegTxStat, so the synthesized
+// send's bounded retry/backoff sees fabric congestion exactly as it
+// sees a full loopback ring.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"synthesis/internal/asmkit"
+	"synthesis/internal/kernel"
+	"synthesis/internal/kio"
+	"synthesis/internal/m68k"
+	"synthesis/internal/metrics"
+	"synthesis/internal/net"
+	"synthesis/internal/unixemu"
+)
+
+// Fabric geometry and the guest port plan. Guest echo sockets sit at
+// guestPortBase+j; their replies target host ports replyPortBase+j.
+// Logical connections are multiplexed over the guest sockets (the
+// per-kernel socket capacity is kio.MaxSockets) and matched by the
+// connection id carried in every payload, so the connection count is
+// bounded by the 24-bit payload id space, not the socket table.
+const (
+	guestPortBase = 0x50
+	replyPortBase = 0x900
+
+	ingressSlots = 1024 // per-VM fabric ingress ring
+	hostSlots    = 4096 // host-bound (reply) ring
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// VMs is the Quamachine count (default 2).
+	VMs int
+	// SocketsPerVM is the echo sockets (and guest threads) per VM
+	// (default 8, capped at kio.MaxSockets).
+	SocketsPerVM int
+	// Conns is the logical connection count across the whole fleet
+	// (default 64). Connections are dealt round-robin over
+	// (VM, socket) pairs.
+	Conns int
+	// PayloadBytes sizes each message (default 64; min 8 for the
+	// [conn][seq] header, max net.MTU).
+	PayloadBytes int
+	// ChurnEvery makes each guest thread close and reopen its socket
+	// after that many echoes (0 = no churn). Frames arriving in the
+	// gap are stack drops; the load generator's timeout resends.
+	ChurnEvery int
+	// ChunkCycles bounds each VM execution chunk (default 4096).
+	ChunkCycles uint64
+	// Timeout is the load generator's resend timeout (default 50ms).
+	Timeout time.Duration
+	// Seed fixes the payload padding generator.
+	Seed int64
+	// Metrics is the shared registry; each VM registers under a
+	// vm<i>. prefix. A fresh registry is created when nil.
+	Metrics *metrics.Registry
+}
+
+func (cfg *Config) setDefaults() {
+	if cfg.VMs <= 0 {
+		cfg.VMs = 2
+	}
+	if cfg.VMs > net.MaxNodes {
+		cfg.VMs = net.MaxNodes
+	}
+	if cfg.SocketsPerVM <= 0 {
+		cfg.SocketsPerVM = 8
+	}
+	if cfg.SocketsPerVM > kio.MaxSockets {
+		cfg.SocketsPerVM = kio.MaxSockets
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 64
+	}
+	if cfg.PayloadBytes < 8 {
+		cfg.PayloadBytes = 64
+	}
+	if cfg.PayloadBytes > net.MTU {
+		cfg.PayloadBytes = net.MTU
+	}
+	if cfg.ChunkCycles == 0 {
+		cfg.ChunkCycles = 4096
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 50 * time.Millisecond
+	}
+}
+
+// VM is one fleet member: a booted kernel, its fabric ingress ring,
+// and the mutex that serializes execution chunks against snapshots.
+type VM struct {
+	ID int // 1-based node id
+	K  *kernel.Kernel
+	IO *kio.IO
+
+	mu      sync.Mutex // held around drain+Run chunks and by Snapshot
+	ingress *net.PacketRing
+	err     error
+}
+
+func (vm *VM) setErr(err error) {
+	vm.mu.Lock()
+	if vm.err == nil {
+		vm.err = err
+	}
+	vm.mu.Unlock()
+}
+
+// Err returns the first error the VM's driver hit (nil while healthy).
+func (vm *VM) Err() error {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	return vm.err
+}
+
+// drainIngress moves fabric frames into the NIC's DMA ring, popping
+// the node tag so the synthesized demux sees a plain port. Paced by
+// the ring's free space: frames the device can't take stay queued in
+// the fabric ring instead of being dropped at the device. Returns the
+// number of frames moved, the driver's busy signal.
+func (vm *VM) drainIngress() int {
+	nic := vm.K.Net
+	n := 0
+	for nic.RxPending() < kio.NetRingSlots {
+		f, ok := vm.ingress.Get()
+		if !ok {
+			break
+		}
+		f.Dst = net.PortOf(f.Dst)
+		nic.InjectFrame(net.EncodeFrame(f))
+		n++
+	}
+	return n
+}
+
+// Cluster is a running (or runnable) fleet.
+type Cluster struct {
+	cfg Config
+	// Reg is the shared metrics plane: per-VM kernel and kio metrics
+	// under vm<i>. prefixes, fabric and load-generator metrics under
+	// cluster.
+	Reg *metrics.Registry
+
+	vms      []*VM
+	hostRing *net.PacketRing
+	conns    []lgConn
+	padSeed  uint64
+	start    time.Time
+
+	stop    atomic.Bool
+	wg      sync.WaitGroup
+	started bool
+	nActive atomic.Int64
+
+	mRouted   *metrics.Counter
+	mDropped  *metrics.Counter
+	mSent     *metrics.Counter
+	mReplies  *metrics.Counter
+	mTimeouts *metrics.Counter
+	mStale    *metrics.Counter
+	mBadSum   *metrics.Counter
+	hRTT      *metrics.Hist
+}
+
+// New boots a fleet per cfg: VMs each with kio installed, guest echo
+// threads spawned (one per socket), NICs attached to the fabric, and
+// the load generator's connection table dealt. Nothing executes until
+// Start.
+func New(cfg Config) *Cluster {
+	cfg.setDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.New()
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		Reg:      reg,
+		hostRing: net.NewPacketRing(hostSlots),
+		padSeed:  uint64(cfg.Seed)*0x9e3779b97f4a7c15 + 1,
+		start:    time.Now(),
+
+		mRouted:   reg.Counter("cluster.fabric.routed"),
+		mDropped:  reg.Counter("cluster.fabric.dropped"),
+		mSent:     reg.Counter("cluster.loadgen.sent"),
+		mReplies:  reg.Counter("cluster.loadgen.replies"),
+		mTimeouts: reg.Counter("cluster.loadgen.timeouts"),
+		mStale:    reg.Counter("cluster.loadgen.stale"),
+		mBadSum:   reg.Counter("cluster.loadgen.bad_sum"),
+		hRTT:      reg.Hist("cluster.loadgen.rtt_us"),
+	}
+
+	for id := 1; id <= cfg.VMs; id++ {
+		c.vms = append(c.vms, c.bootVM(id))
+	}
+
+	// Every VM boot bound the plane clock to its own machine; a fleet
+	// has no single VM clock, so the cluster re-binds it to wall time
+	// in nanoseconds (MHz 1000: Micros = ns/1000, Rate = per wall
+	// second) — aggregate throughput is a wall-clock statement.
+	reg.SetClock(func() uint64 { return uint64(time.Since(c.start)) }, 1000)
+
+	for i := 0; i < cfg.Conns; i++ {
+		vm := 1 + i%cfg.VMs
+		sock := (i / cfg.VMs) % cfg.SocketsPerVM
+		c.conns = append(c.conns, lgConn{
+			vm:   vm,
+			port: guestPortBase + uint32(sock),
+		})
+	}
+	return c
+}
+
+// bootVM brings up one fleet member: a Sun 3/160-point kernel with
+// its metrics under a vm<i>. prefix, the NIC's Tx hook pointed at the
+// fabric, and one guest echo thread per socket.
+func (c *Cluster) bootVM(id int) *VM {
+	mcfg := m68k.Sun3Config()
+	k := kernel.Boot(kernel.Config{
+		Machine:         mcfg,
+		ChargeSynthesis: true,
+		Metrics:         c.Reg.Sub(fmt.Sprintf("vm%d.", id)),
+	})
+	io := kio.Install(k)
+	unixemu.Install(k)
+
+	vm := &VM{ID: id, K: k, IO: io, ingress: net.NewPacketRing(ingressSlots)}
+	k.Net.Tx = func(frame []byte) bool { return c.routeRaw(id, frame) }
+	c.Reg.SampleGauge(fmt.Sprintf("cluster.fabric.vm%d.ingress_depth", id),
+		func() float64 { return float64(vm.ingress.Len()) })
+
+	// One guest echo thread per socket. Each thread opens its own
+	// socket (the open synthesizes that socket's send/recv code) and
+	// echoes forever; under churn it closes and reopens on a period.
+	var first *kernel.Thread
+	for j := 0; j < c.cfg.SocketsPerVM; j++ {
+		b := asmkit.New()
+		buildEchoThread(b, guestPortBase+uint32(j), replyPortBase+uint32(j),
+			guestBufBase+uint32(j)*guestBufStride, int32(c.cfg.ChurnEvery))
+		t := k.SpawnKernel(fmt.Sprintf("echo%d", j), b.Link(k.M))
+		if first == nil {
+			first = t
+		}
+	}
+	k.Start(first)
+	return vm
+}
+
+// routeRaw is the NIC Tx hook: wire bytes off a VM into the switch.
+func (c *Cluster) routeRaw(from int, frame []byte) bool {
+	f, ok := net.DecodeFrame(frame)
+	if !ok {
+		c.mDropped.Inc()
+		return false
+	}
+	return c.route(from, f)
+}
+
+// route switches one frame by the node byte of its destination. Host-
+// bound frames get the source VM's node pushed onto Src (the reverse
+// of the tag pop at VM ingress), so the host can tell fleet members
+// apart. Returns false — transmitter-visible backpressure — when the
+// destination ring is full or the node does not exist.
+func (c *Cluster) route(from int, f net.Frame) bool {
+	node := net.NodeOf(f.Dst)
+	if node == net.HostNode {
+		f.Src = net.MakeAddr(from, net.PortOf(f.Src))
+		if !c.hostRing.Put(f) {
+			c.mDropped.Inc()
+			return false
+		}
+		c.mRouted.Inc()
+		return true
+	}
+	if node < 1 || node > len(c.vms) {
+		c.mDropped.Inc()
+		return false
+	}
+	if !c.vms[node-1].ingress.Put(f) {
+		c.mDropped.Inc()
+		return false
+	}
+	c.mRouted.Inc()
+	return true
+}
+
+// Start launches the per-VM drivers and the load generator.
+func (c *Cluster) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	for _, vm := range c.vms {
+		c.wg.Add(1)
+		go c.drive(vm)
+	}
+	c.wg.Add(1)
+	go c.loadgen()
+}
+
+// drive is one VM's goroutine: drain fabric ingress, run a cycle
+// chunk, repeat. The VM mutex is held across each drain+run pair so a
+// Snapshot never reads VM memory mid-chunk.
+//
+// Scheduling matters more than it looks: on a host with few cores, N
+// spinning drivers would starve the load generator into whole Go
+// preemption slices (~10ms) between turns, and measured RTT would be
+// scheduler latency, not fleet latency. So every chunk ends in a
+// Gosched, and a VM with no frame work (nothing drained, nothing
+// transmitted, nothing pending in the DMA ring) backs off with
+// escalating sleeps — guests spend idle time blocked on receive, so
+// burning host CPU to run their scheduler loop buys nothing.
+func (c *Cluster) drive(vm *VM) {
+	defer c.wg.Done()
+	idle := 0
+	for !c.stop.Load() {
+		vm.mu.Lock()
+		if vm.err != nil {
+			vm.mu.Unlock()
+			return
+		}
+		busy := vm.drainIngress() > 0
+		tx0 := vm.K.Net.TxLaunched()
+		err := vm.K.Run(c.cfg.ChunkCycles)
+		busy = busy || vm.K.Net.TxLaunched() != tx0 || vm.K.Net.RxPending() > 0
+		vm.mu.Unlock()
+		if err == nil {
+			// Run maps a machine halt to nil: every guest thread exited,
+			// which a healthy echo fleet never does.
+			c.recordVMErr(vm, fmt.Errorf("cluster: vm%d halted", vm.ID))
+			return
+		}
+		if !errors.Is(err, m68k.ErrCycleLimit) {
+			c.recordVMErr(vm, fmt.Errorf("cluster: vm%d: %w", vm.ID, err))
+			return
+		}
+		if busy {
+			idle = 0
+			runtime.Gosched()
+			continue
+		}
+		if idle < 16 {
+			idle++
+		}
+		if idle <= 2 {
+			runtime.Gosched()
+		} else {
+			// 75us..400us: long enough to hand the core over, short
+			// enough that a frame queued meanwhile waits less than a
+			// chunk or two.
+			time.Sleep(time.Duration(idle) * 25 * time.Microsecond)
+		}
+	}
+}
+
+func (c *Cluster) recordVMErr(vm *VM, err error) {
+	vm.setErr(err)
+}
+
+// Stop halts the drivers and the load generator and waits for them.
+// The cluster can be snapshotted after Stop but not restarted.
+func (c *Cluster) Stop() {
+	if !c.started {
+		return
+	}
+	c.stop.Store(true)
+	c.wg.Wait()
+}
+
+// Snapshot takes one registry snapshot covering the whole fleet, with
+// every VM quiesced: all VM mutexes are held (in node order) so the
+// sampled closures reading VM memory never race a running chunk.
+func (c *Cluster) Snapshot() metrics.Snapshot {
+	for _, vm := range c.vms {
+		vm.mu.Lock()
+	}
+	s := c.Reg.Snapshot()
+	for i := len(c.vms) - 1; i >= 0; i-- {
+		c.vms[i].mu.Unlock()
+	}
+	return s
+}
+
+// Err returns the first per-VM driver error, or nil while the whole
+// fleet is healthy.
+func (c *Cluster) Err() error {
+	for _, vm := range c.vms {
+		if err := vm.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Replies reports completed echo round trips (host view).
+func (c *Cluster) Replies() uint64 { return c.mReplies.Value() }
+
+// ActiveConns reports how many logical connections have completed at
+// least one round trip — the fleet-is-warm signal: connections whose
+// first frames raced their socket's open sit out a resend timeout, so
+// reply counts alone overstate readiness.
+func (c *Cluster) ActiveConns() int { return int(c.nActive.Load()) }
+
+// VMs returns the fleet members (host view, for tests).
+func (c *Cluster) VMs() []*VM { return c.vms }

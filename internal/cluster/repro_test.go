@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"testing"
+
+	"synthesis/internal/net"
+)
+
+// TestNoReecho injects exactly three frames into a quiet 1-VM fleet
+// and drives it manually: each frame must produce exactly one echo,
+// and a drained fleet must produce nothing more. Guards against the
+// receive path re-processing stale ring slots or stale queue slots.
+func TestNoReecho(t *testing.T) {
+	c := New(Config{VMs: 1, SocketsPerVM: 8, Conns: 1, PayloadBytes: 32, Seed: 3})
+	vm := c.vms[0]
+
+	var out []net.Frame
+	vm.K.Net.Tx = func(b []byte) bool {
+		f, ok := net.DecodeFrame(b)
+		if !ok {
+			t.Fatalf("undecodable frame off vm1: % x", b)
+		}
+		out = append(out, f)
+		return c.routeRaw(1, b)
+	}
+
+	drive := func(chunks int) {
+		for i := 0; i < chunks; i++ {
+			vm.drainIngress()
+			if err := vm.K.Run(4096); err == nil {
+				t.Fatal("vm halted")
+			}
+		}
+	}
+
+	// Let the guest threads boot and open all sockets.
+	drive(400)
+	if n := len(out); n != 0 {
+		t.Fatalf("fleet transmitted %d frames before any input", n)
+	}
+
+	for i := 0; i < 3; i++ {
+		p := c.payload(0, uint32(i))
+		c.route(net.HostNode, net.Frame{
+			Dst: net.MakeAddr(1, guestPortBase+uint32(i)),
+			Src: net.MakeAddr(net.HostNode, replyPortBase+uint32(i)),
+			Sum: net.Checksum(p), Payload: p,
+		})
+	}
+	drive(400)
+	if n := len(out); n != 3 {
+		t.Fatalf("3 frames in, %d frames out", n)
+	}
+	// A drained fleet must stay quiet no matter how long it runs.
+	drive(2000)
+	if n := len(out); n != 3 {
+		t.Fatalf("re-echo: 3 frames in, %d frames out after extra chunks", n)
+	}
+
+	// Overload: a 64-frame burst at one socket overflows both the NIC
+	// ring (16 slots) and the socket queue (8 slots). Echo count must
+	// never exceed input, and the fleet must go quiet once drained.
+	out = out[:0]
+	sent := 0
+	for i := 0; i < 64; i++ {
+		p := c.payload(0, uint32(100+i))
+		if c.route(net.HostNode, net.Frame{
+			Dst: net.MakeAddr(1, guestPortBase),
+			Src: net.MakeAddr(net.HostNode, replyPortBase),
+			Sum: net.Checksum(p), Payload: p,
+		}) {
+			sent++
+		}
+	}
+	drive(3000)
+	burst := len(out)
+	if burst > sent {
+		t.Fatalf("echo amplification: %d frames in, %d frames out", sent, burst)
+	}
+	drive(2000)
+	if n := len(out); n != burst {
+		t.Fatalf("re-echo after overload: %d grew to %d with no new input", burst, n)
+	}
+}

@@ -18,6 +18,16 @@ import (
 // resynthesis happens in place.
 const perThreadCodeSlots = 48
 
+// preSlots reserves the quantum-preemption prologue (sw_out.pre) at
+// the head of each thread's code region.
+const preSlots = 10
+
+// deferQuantumCycles re-arms the quantum when preemption is deferred
+// because the quantum caught an interrupt handler mid-flight: short,
+// so the switch happens at the first unmasked instruction boundary
+// after the handler completes.
+const deferQuantumCycles = 200
+
 // newThread allocates and initializes a thread entirely from the
 // host (used at boot and by tests; the measured creation path runs
 // through the kcreate VM routine instead, which does the microsecond-
@@ -59,15 +69,11 @@ func (k *Kernel) initThread(tte uint32, name string, ubase, ulimit uint32, kerne
 	m.Poke(tte+TTEULimit, 4, ulimit)
 	m.Poke(tte+TTEQuantum, 4, uint32(k.defaultQuantumCycles()))
 
+	// synthesizeSwitch also wires the per-thread vectors (quantum and
+	// voluntary-switch) at the thread's own code — Figure 3: "the
+	// interrupt is vectored to thread-0's context-switch-out
+	// procedure".
 	k.synthesizeSwitch(t, false)
-
-	// Per-thread vectors that point at the thread's own code: the
-	// quantum interrupt and the voluntary-switch trap both enter
-	// sw_out (Figure 3: "the interrupt is vectored to thread-0's
-	// context-switch-out procedure").
-	swout := m.Peek(tte+TTESwoutPt, 4)
-	m.Poke(tte+TTEVec+uint32(m68k.VecAutovector+m68k.IRQTimer)*4, 4, swout)
-	m.Poke(tte+TTEVec+uint32(m68k.VecTrapBase+TrapSwitch)*4, 4, swout)
 
 	if kernelMode {
 		m.Poke(tte+TTEUBase, 4, 0)
@@ -105,8 +111,35 @@ func (k *Kernel) synthesizeSwitch(t *Thread, withFP bool) {
 		fpTrap = 0
 	}
 
-	// sw_out at CodeBase.
-	swout := t.CodeBase
+	// sw_out.pre at CodeBase: the quantum interrupt vectors here, not
+	// straight into sw_out. An interrupt handler that wants to run to
+	// completion masks as its first instruction, but the quantum can
+	// land in the one-instruction window between exception entry and
+	// that mask; switching there strands a half-started handler
+	// activation while other threads run unmasked, and a fresh device
+	// interrupt then races it through the wake and ready-ring paths.
+	// So: if the interrupted context was itself at a nonzero
+	// interrupt level (the stacked SR's IPL field — bits 0-2 of the
+	// byte at sp+2), don't switch. Re-arm a short quantum and resume;
+	// the handler finishes, and the deferred quantum preempts the
+	// thread at the next unmasked boundary. Registers stay untouched
+	// on the defer path, so nothing needs saving.
+	pre := t.CodeBase
+	swout := t.CodeBase + preSlots
+	k.C.Build(t.Q, "sw_out.pre").At(pre, preSlots).Emit(func(e *synth.Emitter) {
+		e.Btst(m68k.Imm(0), m68k.Disp(2, 7))
+		e.Bne("defer")
+		e.Btst(m68k.Imm(1), m68k.Disp(2, 7))
+		e.Bne("defer")
+		e.Btst(m68k.Imm(2), m68k.Disp(2, 7))
+		e.Bne("defer")
+		e.Jmp(swout)
+		e.Label("defer")
+		e.MoveL(m68k.Imm(deferQuantumCycles), m68k.Abs(m68k.TimerBase+m68k.TimerRegQuantum))
+		e.Rte()
+	})
+
+	// sw_out after the prologue.
 	k.C.Build(t.Q, "sw_out").At(swout, 16).Emit(func(e *synth.Emitter) {
 		// The whole switch runs with interrupts masked: a quantum
 		// interrupt landing mid-switch would re-enter sw_out and
@@ -130,8 +163,8 @@ func (k *Kernel) synthesizeSwitch(t *Thread, withFP bool) {
 
 	// sw_in.mmu then sw_in, contiguous: the mmu entry performs the
 	// quaspace change and falls through.
-	swinMMU := t.CodeBase + 16
-	k.C.Build(t.Q, "sw_in").At(swinMMU, perThreadCodeSlots-16).Emit(func(e *synth.Emitter) {
+	swinMMU := swout + 16
+	k.C.Build(t.Q, "sw_in").At(swinMMU, perThreadCodeSlots-preSlots-16).Emit(func(e *synth.Emitter) {
 		e.MovecTo(m68k.CtrlUBase, m68k.Abs(tte+TTEUBase))
 		e.MovecTo(m68k.CtrlULimit, m68k.Abs(tte+TTEULimit))
 		e.Label("swin")
@@ -156,6 +189,10 @@ func (k *Kernel) synthesizeSwitch(t *Thread, withFP bool) {
 	m.Poke(tte+TTESwoutPt, 4, swout)
 	m.Poke(tte+TTESwinMMU, 4, swinMMU)
 	m.Poke(tte+TTESwinPtr, 4, swin)
+	// Quantum preemption goes through the prologue; the voluntary
+	// switch trap (always issued from thread context) skips it.
+	m.Poke(tte+TTEVec+uint32(m68k.VecAutovector+m68k.IRQTimer)*4, 4, pre)
+	m.Poke(tte+TTEVec+uint32(m68k.VecTrapBase+TrapSwitch)*4, 4, swout)
 	t.UsesFP = withFP
 }
 
@@ -168,15 +205,11 @@ func (k *Kernel) resynthesizeFP(t *Thread) {
 	if t == nil || t.UsesFP {
 		return
 	}
+	// synthesizeSwitch re-emits in place and re-points the
+	// quantum/switch vectors.
 	k.synthesizeSwitch(t, true)
 	flags := k.M.Peek(t.TTE+TTEFlags, 4)
 	k.M.Poke(t.TTE+TTEFlags, 4, flags|TTEFlagFP)
-	// Re-point the quantum/switch vectors (the sw_out address is
-	// unchanged — resynthesis happens in place — but keep this
-	// explicit in case the layout ever changes).
-	swout := k.M.Peek(t.TTE+TTESwoutPt, 4)
-	k.M.Poke(t.TTE+TTEVec+uint32(m68k.VecAutovector+m68k.IRQTimer)*4, 4, swout)
-	k.M.Poke(t.TTE+TTEVec+uint32(m68k.VecTrapBase+TrapSwitch)*4, 4, swout)
 	// The machine must stop trapping FP for this thread right now.
 	k.M.FPTrap = false
 }

@@ -53,6 +53,17 @@ const (
 	maxSockets    = 16 // generic-fallback port table capacity
 )
 
+// NetRingSlots exports the NIC receive-ring depth so a host-side
+// injector (the cluster fabric) can pace frame delivery against
+// RxPending instead of blind-dropping at the device.
+const NetRingSlots = netRingSlots
+
+// MaxSockets exports the per-kernel socket capacity: the demux
+// compare chain and the generic-fallback port table are both sized to
+// it, so a fleet harness multiplexes its logical connections over at
+// most this many guest sockets per VM.
+const MaxSockets = maxSockets
+
 // Send retry policy: a refused launch (ring full) is retried with an
 // exponentially doubling unmasked spin, so the receive interrupt can
 // drain the ring between attempts.
@@ -142,6 +153,14 @@ func (io *IO) resynthNetHandler() {
 		name = "net_intr_generic"
 	}
 	io.netIntH = k.C.Build(nil, name).Named("kio."+name).Counted().Emit(func(e *synth.Emitter) {
+		// Run to completion: the NIC interrupts at level 1, below the
+		// quantum timer, so without this mask the scheduler can switch
+		// away mid-drain and a fresh receive interrupt runs a second
+		// activation of this handler concurrently — racing the ring
+		// walk, the wake path and the ready-ring insert. The RTE
+		// restores the interrupted level; a quantum that expires during
+		// the drain is latched and taken immediately after.
+		e.OrSR(iplMaskBits)
 		e.MoveL(m68k.D(0), m68k.PreDec(7))
 		e.MoveL(m68k.D(1), m68k.PreDec(7))
 		e.MoveL(m68k.D(2), m68k.PreDec(7))
@@ -164,11 +183,24 @@ func (io *IO) resynthNetHandler() {
 		}
 
 		// Drain every frame the NIC has DMA'd: one interrupt covers a
-		// whole delivery batch.
+		// whole delivery batch. Each ring slot is CLAIMED by CAS before
+		// it is touched: a quantum interrupt (level 6, above the NIC's
+		// level 1) can switch away mid-frame and let a fresh receive
+		// interrupt run a second activation of this handler, so the
+		// walk is multi-consumer in exactly the way the queue insert
+		// below is multi-producer. A read-process-increment walk here
+		// double-counts under that interleaving, pushes the tail past
+		// the head, and — with an equality exit test — livelocks the
+		// drain on 2^32 stale slots.
 		e.Label("nd_drain")
-		e.MoveL(m68k.Abs(tailCell), m68k.D(0))
-		e.Cmp(4, m68k.Abs(rxHead), m68k.D(0))
+		e.MoveL(m68k.Abs(tailCell), m68k.D(1))
+		e.Cmp(4, m68k.Abs(rxHead), m68k.D(1))
 		e.Beq("nd_done")
+		e.MoveL(m68k.D(1), m68k.D(2))
+		e.AddL(m68k.Imm(1), m68k.D(2))
+		e.Cas(4, 1, 2, m68k.Abs(tailCell))
+		e.Bne("nd_drain") // lost the claim: D1 holds the fresh tail
+		e.MoveL(m68k.D(1), m68k.D(0))
 		// A0 = ring slot for this frame: base + (count & mask)*slotSz.
 		e.MoveL(m68k.D(0), m68k.D(1))
 		e.AndL(m68k.Imm(netRingSlots-1), m68k.D(1))
@@ -280,9 +312,14 @@ func (io *IO) resynthNetHandler() {
 		e.Label("nd_full")
 		e.AddL(m68k.Imm(1), m68k.Disp(NQDrops, 2))
 
-		// Return the ring slot to the NIC.
+		// Return ring slots to the NIC: the claim already advanced the
+		// tail cell, so publish its current value. A preempted sibling
+		// activation may still be copying out of a slot this store
+		// frees — if the device overwrites it mid-copy, the checksum
+		// verify above catches the tear and the frame is dropped for
+		// the sender's retransmission to cover, never corrupted
+		// silently.
 		e.Label("nd_next")
-		e.AddL(m68k.Imm(1), m68k.Abs(tailCell))
 		e.MoveL(m68k.Abs(tailCell), m68k.D(0))
 		e.MoveL(m68k.D(0), m68k.Abs(rxTail))
 		e.Bra("nd_drain")

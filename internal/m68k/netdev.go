@@ -46,6 +46,15 @@ type Net struct {
 	// the ring before the transmitting store completes.
 	LatencyCycles uint64
 
+	// Tx, when set, intercepts every launched frame instead of the
+	// peer/loopback delivery: this is how a switch fabric attaches a
+	// NIC to N peers instead of one. Its return value reports whether
+	// the fabric accepted the frame and lands in NetRegTxStat, so the
+	// synthesized send's retry/backoff sees fabric backpressure exactly
+	// as it sees a full peer ring. The frame slice is freshly allocated
+	// per launch (PeekBytes copies), so the hook may retain it.
+	Tx func(frame []byte) bool
+
 	peer *Net // delivery target; nil = self (loopback)
 
 	txAddr  uint32
@@ -105,6 +114,14 @@ func (n *Net) Store(off uint32, sz uint8, val uint32) {
 	case NetRegTxLen:
 		n.txCnt++
 		frame := n.m.PeekBytes(n.txAddr, int(val))
+		if n.Tx != nil {
+			if n.Tx(frame) {
+				n.txStat = 1
+			} else {
+				n.txStat = 0
+			}
+			return
+		}
 		target := n.peer
 		if target == nil {
 			target = n
@@ -123,7 +140,16 @@ func (n *Net) Store(off uint32, sz uint8, val uint32) {
 	case NetRegCtl:
 		n.enabled = val&1 != 0
 	case NetRegRxTail:
-		n.rxTail = val
+		// The tail only ever moves forward, and never past the head: a
+		// preempted handler activation may publish a stale (old) tail
+		// long after its siblings advanced it, and a runaway driver
+		// could overshoot the head — either store, taken literally,
+		// wedges the ring-fullness arithmetic (rxHead - rxTail) for
+		// good. Taken as free-running counts, "forward but not past
+		// the head" is the whole legal range.
+		if int32(val-n.rxTail) > 0 && int32(n.rxHead-val) >= 0 {
+			n.rxTail = val
+		}
 	}
 }
 
@@ -184,6 +210,12 @@ func (n *Net) InjectFrame(frame []byte) bool { return n.Deliver(frame) }
 // RxPending returns how many DMA'd frames await consumption (host
 // view, for tests).
 func (n *Net) RxPending() uint32 { return n.rxHead - n.rxTail }
+
+// TxLaunched returns the free-running launched-frame count (host
+// view): a delta across an execution chunk tells a driving harness
+// whether the guest transmitted, i.e. whether the VM is doing useful
+// network work or idling.
+func (n *Net) TxLaunched() uint32 { return n.txCnt }
 
 // Dropped returns the drop count (host view).
 func (n *Net) Dropped() uint32 { return n.drops }

@@ -160,6 +160,63 @@ func TestNetRingFullDrops(t *testing.T) {
 	}
 }
 
+// TestNetTxHook: a fabric-attached NIC hands every launched frame to
+// the Tx hook instead of the peer, and the hook's verdict lands in
+// NetRegTxStat so guest-side retry/backoff sees fabric backpressure.
+func TestNetTxHook(t *testing.T) {
+	m := newDeviceM(t)
+	n := m.FindDevice("net").(*m68k.Net)
+	configureNet(m, 0x4000, 4, 64)
+
+	var got [][]byte
+	accept := true
+	n.Tx = func(frame []byte) bool {
+		got = append(got, frame)
+		return accept
+	}
+
+	launch := func(frame []byte) uint32 {
+		m.PokeBytes(0x2000, frame)
+		m.Store(m68k.NetBase+m68k.NetRegTxAddr, 4, 0x2000)
+		m.Store(m68k.NetBase+m68k.NetRegTxLen, 4, uint32(len(frame)))
+		stat, _ := m.Load(m68k.NetBase+m68k.NetRegTxStat, 4)
+		return stat
+	}
+
+	if stat := launch([]byte("to the fabric")); stat != 1 {
+		t.Fatalf("tx stat = %d, want 1 (hook accepted)", stat)
+	}
+	accept = false
+	if stat := launch([]byte("congested")); stat != 0 {
+		t.Fatalf("tx stat = %d, want 0 (hook refused)", stat)
+	}
+
+	if len(got) != 2 || string(got[0]) != "to the fabric" || string(got[1]) != "congested" {
+		t.Fatalf("hook saw %q", got)
+	}
+	// Frame slices are per-launch copies: the second launch overwrote
+	// the staging area, the first capture must be intact.
+	if string(got[0]) != "to the fabric" {
+		t.Fatalf("hook frame aliased staging memory: %q", got[0])
+	}
+	// Hooked launches bypass local loopback delivery entirely.
+	if n.RxPending() != 0 {
+		t.Fatalf("rx pending = %d, want 0 (no loopback when hooked)", n.RxPending())
+	}
+	if cnt, _ := m.Load(m68k.NetBase+m68k.NetRegTxCount, 4); cnt != 2 {
+		t.Fatalf("tx count = %d, want 2", cnt)
+	}
+
+	// Detaching the hook restores loopback delivery.
+	n.Tx = nil
+	if stat := launch([]byte("local again")); stat != 1 {
+		t.Fatalf("tx stat after detach = %d, want 1", stat)
+	}
+	if n.RxPending() != 1 {
+		t.Fatalf("rx pending after detach = %d, want 1", n.RxPending())
+	}
+}
+
 func TestNetCrossMachine(t *testing.T) {
 	ma := m68k.New(m68k.Config{MemSize: 1 << 16})
 	mb := m68k.New(m68k.Config{MemSize: 1 << 16})

@@ -49,12 +49,12 @@ func (g *Gauge) Value() float64 {
 	return floatFrom(g.v.Load())
 }
 
-// Registry holds the named metrics for one kernel instance.
-// Registration takes a short critical section; updates through the
-// returned handles are lock-free. A nil *Registry is a valid disabled
-// plane: every lookup returns a nil handle and Snapshot returns the
-// zero Snapshot.
-type Registry struct {
+// regState is the storage every Registry view shares: one mutex, one
+// set of name-keyed metric maps, one clock. A Registry is a (state,
+// prefix) pair — see Sub — so a fleet of kernels can register into a
+// single plane under per-VM name prefixes while snapshots still see
+// everything at once.
+type regState struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
@@ -66,29 +66,64 @@ type Registry struct {
 	clockMHz float64
 }
 
+// Registry holds the named metrics for one kernel instance — or, via
+// Sub, a prefixed view onto a shared plane for a whole cluster of
+// them. Registration takes a short critical section; updates through
+// the returned handles are lock-free. A nil *Registry is a valid
+// disabled plane: every lookup returns a nil handle and Snapshot
+// returns the zero Snapshot.
+type Registry struct {
+	s      *regState
+	prefix string
+}
+
 // New returns an empty registry.
 func New() *Registry {
-	return &Registry{
+	return &Registry{s: &regState{
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Hist{},
 		sampledC: map[string]func() uint64{},
 		sampledG: map[string]func() float64{},
+	}}
+}
+
+// Sub returns a view of the same registry that prepends prefix to
+// every metric name registered through it ("vm3." turns "kio.sock.5.
+// rx_frames" into "vm3.kio.sock.5.rx_frames"). The view shares the
+// parent's storage: a Snapshot taken on any view covers the whole
+// plane. Sub of a nil registry is nil (still a valid disabled plane),
+// and Sub views nest.
+func (r *Registry) Sub(prefix string) *Registry {
+	if r == nil {
+		return nil
 	}
+	return &Registry{s: r.s, prefix: r.prefix + prefix}
+}
+
+// Prefix reports the view's name prefix ("" on the root or nil).
+func (r *Registry) Prefix() string {
+	if r == nil {
+		return ""
+	}
+	return r.prefix
 }
 
 // SetClock binds the registry's timestamp source: fn is sampled into
 // every Snapshot (the convention is Machine.Clock, so snapshots and
 // the profiler's trace events share one time base), and mhz converts
-// those cycles to microseconds (µs = cycles / mhz).
+// those cycles to microseconds (µs = cycles / mhz). The clock is
+// plane-global — on a multi-VM shared registry the last caller wins,
+// so a cluster harness overrides it after booting its kernels (the
+// fleet has no single VM clock; see internal/cluster).
 func (r *Registry) SetClock(fn func() uint64, mhz float64) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.clock = fn
-	r.clockMHz = mhz
-	r.mu.Unlock()
+	r.s.mu.Lock()
+	r.s.clock = fn
+	r.s.clockMHz = mhz
+	r.s.mu.Unlock()
 }
 
 // Counter returns the named counter handle, creating it on first use.
@@ -97,12 +132,13 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c, ok := r.counters[name]
+	name = r.prefix + name
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	c, ok := r.s.counters[name]
 	if !ok {
 		c = &Counter{}
-		r.counters[name] = c
+		r.s.counters[name] = c
 	}
 	return c
 }
@@ -112,12 +148,13 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
+	name = r.prefix + name
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	g, ok := r.s.gauges[name]
 	if !ok {
 		g = &Gauge{}
-		r.gauges[name] = g
+		r.s.gauges[name] = g
 	}
 	return g
 }
@@ -127,12 +164,13 @@ func (r *Registry) Hist(name string) *Hist {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, ok := r.hists[name]
+	name = r.prefix + name
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	h, ok := r.s.hists[name]
 	if !ok {
 		h = &Hist{}
-		r.hists[name] = h
+		r.s.hists[name] = h
 	}
 	return h
 }
@@ -145,9 +183,9 @@ func (r *Registry) Sample(name string, fn func() uint64) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.sampledC[name] = fn
-	r.mu.Unlock()
+	r.s.mu.Lock()
+	r.s.sampledC[r.prefix+name] = fn
+	r.s.mu.Unlock()
 }
 
 // SampleGauge registers a gauge-typed sampled metric (occupancy and
@@ -156,71 +194,76 @@ func (r *Registry) SampleGauge(name string, fn func() float64) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.sampledG[name] = fn
-	r.mu.Unlock()
+	r.s.mu.Lock()
+	r.s.sampledG[r.prefix+name] = fn
+	r.s.mu.Unlock()
 }
 
 // UnregisterPrefix removes every metric whose name starts with prefix
 // (socket close tears down its kio.sock.<port>.* family so snapshots
-// never read cells of a dead queue).
+// never read cells of a dead queue). The view's own prefix applies, so
+// a vm2. sub-registry unregistering "kio.sock.5." only tears down
+// vm2.kio.sock.5.*.
 func (r *Registry) UnregisterPrefix(prefix string) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for n := range r.counters {
+	prefix = r.prefix + prefix
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	for n := range r.s.counters {
 		if hasPrefix(n, prefix) {
-			delete(r.counters, n)
+			delete(r.s.counters, n)
 		}
 	}
-	for n := range r.gauges {
+	for n := range r.s.gauges {
 		if hasPrefix(n, prefix) {
-			delete(r.gauges, n)
+			delete(r.s.gauges, n)
 		}
 	}
-	for n := range r.hists {
+	for n := range r.s.hists {
 		if hasPrefix(n, prefix) {
-			delete(r.hists, n)
+			delete(r.s.hists, n)
 		}
 	}
-	for n := range r.sampledC {
+	for n := range r.s.sampledC {
 		if hasPrefix(n, prefix) {
-			delete(r.sampledC, n)
+			delete(r.s.sampledC, n)
 		}
 	}
-	for n := range r.sampledG {
+	for n := range r.s.sampledG {
 		if hasPrefix(n, prefix) {
-			delete(r.sampledG, n)
+			delete(r.s.sampledG, n)
 		}
 	}
 }
 
 func hasPrefix(s, p string) bool { return strings.HasPrefix(s, p) }
 
-// Names returns every registered metric name, sorted.
+// Names returns every registered metric name, sorted. Names are
+// plane-wide and fully qualified (a Sub view sees the same list as the
+// root).
 func (r *Registry) Names() []string {
 	if r == nil {
 		return nil
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.s.mu.RLock()
+	defer r.s.mu.RUnlock()
 	names := make([]string, 0,
-		len(r.counters)+len(r.gauges)+len(r.hists)+len(r.sampledC)+len(r.sampledG))
-	for n := range r.counters {
+		len(r.s.counters)+len(r.s.gauges)+len(r.s.hists)+len(r.s.sampledC)+len(r.s.sampledG))
+	for n := range r.s.counters {
 		names = append(names, n)
 	}
-	for n := range r.gauges {
+	for n := range r.s.gauges {
 		names = append(names, n)
 	}
-	for n := range r.hists {
+	for n := range r.s.hists {
 		names = append(names, n)
 	}
-	for n := range r.sampledC {
+	for n := range r.s.sampledC {
 		names = append(names, n)
 	}
-	for n := range r.sampledG {
+	for n := range r.s.sampledG {
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -248,34 +291,36 @@ func (s Snapshot) Micros() float64 {
 }
 
 // Snapshot samples every metric, including the sampled cell readers.
+// On a shared multi-VM registry this is the "one registry snapshot"
+// for the whole fleet — every view's metrics appear, fully prefixed.
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.s.mu.RLock()
+	defer r.s.mu.RUnlock()
 	s := Snapshot{
-		ClockMHz: r.clockMHz,
-		Counters: make(map[string]uint64, len(r.counters)+len(r.sampledC)),
-		Gauges:   make(map[string]float64, len(r.gauges)+len(r.sampledG)),
-		Hists:    make(map[string]HistSnapshot, len(r.hists)),
+		ClockMHz: r.s.clockMHz,
+		Counters: make(map[string]uint64, len(r.s.counters)+len(r.s.sampledC)),
+		Gauges:   make(map[string]float64, len(r.s.gauges)+len(r.s.sampledG)),
+		Hists:    make(map[string]HistSnapshot, len(r.s.hists)),
 	}
-	if r.clock != nil {
-		s.Cycles = r.clock()
+	if r.s.clock != nil {
+		s.Cycles = r.s.clock()
 	}
-	for n, c := range r.counters {
+	for n, c := range r.s.counters {
 		s.Counters[n] = c.Value()
 	}
-	for n, fn := range r.sampledC {
+	for n, fn := range r.s.sampledC {
 		s.Counters[n] = fn()
 	}
-	for n, g := range r.gauges {
+	for n, g := range r.s.gauges {
 		s.Gauges[n] = g.Value()
 	}
-	for n, fn := range r.sampledG {
+	for n, fn := range r.s.sampledG {
 		s.Gauges[n] = fn()
 	}
-	for n, h := range r.hists {
+	for n, h := range r.s.hists {
 		s.Hists[n] = h.Snapshot()
 	}
 	return s

@@ -199,6 +199,69 @@ func TestUnregisterPrefix(t *testing.T) {
 	}
 }
 
+// Sub views: per-VM prefixing over one shared plane. A cluster boots
+// each kernel against reg.Sub("vm<i>.") and one Snapshot sees the
+// whole fleet.
+func TestSubPrefixSharing(t *testing.T) {
+	r := New()
+	vm1 := r.Sub("vm1.")
+	vm2 := r.Sub("vm2.")
+
+	vm1.Counter("kio.sock.5.rx_frames").Add(10)
+	vm2.Counter("kio.sock.5.rx_frames").Add(20)
+	r.Counter("cluster.fabric.routed").Add(30)
+	vm1.Sample("kernel.live_threads", func() uint64 { return 4 })
+	vm2.SampleGauge("kio.sock.5.queue_depth", func() float64 { return 2 })
+	vm1.Hist("prof.irq.l1.latency_cycles").Observe(8)
+
+	// Any view snapshots the whole plane with fully qualified names.
+	for _, view := range []*Registry{r, vm1, vm2} {
+		s := view.Snapshot()
+		if s.Counters["vm1.kio.sock.5.rx_frames"] != 10 ||
+			s.Counters["vm2.kio.sock.5.rx_frames"] != 20 ||
+			s.Counters["cluster.fabric.routed"] != 30 ||
+			s.Counters["vm1.kernel.live_threads"] != 4 {
+			t.Errorf("view %q snapshot counters = %v", view.Prefix(), s.Counters)
+		}
+		if s.Gauges["vm2.kio.sock.5.queue_depth"] != 2 {
+			t.Errorf("view %q snapshot gauges = %v", view.Prefix(), s.Gauges)
+		}
+		if s.Hists["vm1.prof.irq.l1.latency_cycles"].Count != 1 {
+			t.Errorf("view %q snapshot hists = %v", view.Prefix(), s.Hists)
+		}
+	}
+
+	// Same name through the same view resolves to the same handle.
+	if vm1.Counter("kio.sock.5.rx_frames") != vm1.Counter("kio.sock.5.rx_frames") {
+		t.Error("repeated Counter through a view returned distinct handles")
+	}
+	// Distinct views keep distinct handles.
+	if vm1.Counter("kio.sock.5.rx_frames") == vm2.Counter("kio.sock.5.rx_frames") {
+		t.Error("vm1 and vm2 views share a counter handle")
+	}
+
+	// UnregisterPrefix is scoped by the view's own prefix.
+	vm1.UnregisterPrefix("kio.sock.5.")
+	names := strings.Join(r.Names(), ",")
+	if strings.Contains(names, "vm1.kio.sock.5.") {
+		t.Errorf("vm1 socket metrics survive unregister: %s", names)
+	}
+	if !strings.Contains(names, "vm2.kio.sock.5.rx_frames") {
+		t.Errorf("vm2 socket metrics were removed: %s", names)
+	}
+
+	// Sub views nest, and Sub of nil is a valid disabled plane.
+	if got := vm1.Sub("x.").Prefix(); got != "vm1.x." {
+		t.Errorf("nested Sub prefix = %q", got)
+	}
+	var nilReg *Registry
+	sub := nilReg.Sub("vm0.")
+	if sub != nil {
+		t.Error("Sub of nil registry is not nil")
+	}
+	sub.Counter("x").Inc() // must not panic
+}
+
 func TestSnapshotJSONRoundTrip(t *testing.T) {
 	r := New()
 	r.SetClock(func() uint64 { return 4242 }, 16)

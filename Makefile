@@ -8,18 +8,23 @@
 # and emits a Chrome trace (load trace.json in about:tracing or
 # ui.perfetto.dev). `make cluster-soak` runs the bounded 2-VM fleet
 # soak (churn under live traffic) and the re-echo regression test
-# under the race detector. `make bench-json` regenerates every table
-# as machine-readable BENCH_*.json artifacts in bench/out (three runs
-# per table, so each row carries its min/median/max spread); `make
-# benchdiff` gates them against the committed bench/baseline set: a
-# deterministic row that moved past the threshold fails, while the
-# wall-clock cluster table is warn-listed and its medians get a noise
-# band over the recorded spread. Refresh the baseline with `make
+# under the race detector. `make chaos-soak` runs the bounded fleet
+# chaos soak: 2 VMs under seeded link loss/corruption/dup/delay plus a
+# VM wire injector, through a partition/heal cycle, under the race
+# detector — it asserts the frame conservation identity, zero
+# abandoned connections, and a recovery observation for every severed
+# one. `make bench-json` regenerates every table as machine-readable
+# BENCH_*.json artifacts in bench/out (three runs per table, so each
+# row carries its min/median/max spread); `make benchdiff` gates them
+# against the committed bench/baseline set: a deterministic row that
+# moved past the threshold fails, while the wall-clock cluster and
+# recovery tables are warn-listed and their medians get a noise band
+# over the recorded spread. Refresh the baseline with `make
 # bench-baseline` when a change legitimately moves the numbers.
 
 GO ?= go
 
-.PHONY: tier1 race soak cluster-soak bench tables profile bench-json benchdiff bench-baseline
+.PHONY: tier1 race soak cluster-soak chaos-soak bench tables profile bench-json benchdiff bench-baseline
 
 tier1:
 	$(GO) build ./...
@@ -39,6 +44,10 @@ cluster-soak:
 	$(GO) test -race -count 1 -timeout 180s \
 		-run 'TestClusterSoak|TestNoReecho|TestSnapshotDuringRun' ./internal/cluster/
 
+chaos-soak:
+	$(GO) test -race -count 1 -timeout 180s \
+		-run 'TestChaosSoak|TestFabricDropAccountingExact' ./internal/cluster/
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
 
@@ -52,7 +61,7 @@ bench-json:
 	$(GO) run ./cmd/synbench -json bench/out -runs 3
 
 benchdiff:
-	$(GO) run ./cmd/benchdiff -noise 2 -warn-tables cluster bench/baseline bench/out
+	$(GO) run ./cmd/benchdiff -noise 2 -warn-tables cluster,recovery bench/baseline bench/out
 
 bench-baseline:
 	$(GO) run ./cmd/synbench -json bench/baseline -runs 3

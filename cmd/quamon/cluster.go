@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"synthesis/internal/cluster"
+	"synthesis/internal/fault"
 )
 
 // clusterOpts carries the -cluster flag set.
@@ -31,6 +32,9 @@ type clusterOpts struct {
 	intervalUS        float64
 	windows           int
 	metricsJSON, prom string
+	faults            fault.FleetPlan
+	timeout           time.Duration
+	maxResends        int
 }
 
 // clusterMux serves the live cluster's metrics. Snapshot() quiesces
@@ -53,16 +57,19 @@ func clusterMux(c *cluster.Cluster) *http.ServeMux {
 }
 
 func runCluster(o clusterOpts) int {
+	// Long-running monitoring defaults to patient clients for the same
+	// reason the cluster bench table does: under heavy load the
+	// queueing RTT can exceed an impatient resend timeout, and the
+	// resulting resend storm is congestion collapse, not insight.
+	// -timeout and -max-resends override for fault experiments.
 	c := cluster.New(cluster.Config{
-		VMs:     o.vms,
-		Conns:   o.conns,
-		// Long-running monitoring favors patient clients for the same
-		// reason the cluster bench table does: under heavy load the
-		// queueing RTT can exceed an impatient resend timeout, and the
-		// resulting resend storm is congestion collapse, not insight.
-		Timeout:    500 * time.Millisecond,
+		VMs:        o.vms,
+		Conns:      o.conns,
+		Timeout:    o.timeout,
+		MaxResends: o.maxResends,
 		ChurnEvery: o.churn,
 		Seed:       o.seed,
+		Faults:     o.faults,
 	})
 	c.Start()
 	defer c.Stop()

@@ -44,6 +44,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"synthesis/internal/bench"
 	"synthesis/internal/fault"
@@ -64,7 +65,8 @@ func main() {
 	table := flag.String("table", "",
 		"regenerate a bench table instead of the demo: one of "+strings.Join(bench.Names(), ","))
 	iters := flag.Int("iters", 200, "loop count for -table 1 and finite -program workloads")
-	faults := flag.String("faults", "", "inject faults into the demo or table machines (see grammar below)")
+	faults := flag.String("faults", "", "inject faults into the demo or table machines; with -cluster, "+
+		"fleet clauses (link=/part=/vmfault=) drive the fabric fault plane (see grammar below)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the -faults schedule; a seed replays exactly")
 	watch := flag.Bool("watch", false, "live-monitor a workload, streaming metric deltas")
 	program := flag.String("program", "",
@@ -77,7 +79,11 @@ func main() {
 	vms := flag.Int("vms", 4, "Quamachine count for -cluster")
 	conns := flag.Int("conns", 128, "logical connection count for -cluster")
 	churn := flag.Int("churn", 0, "with -cluster, close and reopen each guest socket every N echoes (0 = never)")
-	seed := flag.Int64("seed", 1, "payload seed for the -cluster load generator")
+	seed := flag.Int64("seed", 1, "payload and fault seed for the -cluster load generator")
+	timeout := flag.Duration("timeout", 500*time.Millisecond,
+		"with -cluster, resend timeout per in-flight echo (backoff doubles it per resend)")
+	maxResends := flag.Int("max-resends", 0,
+		"with -cluster, resends before a connection gives up (0 = never give up)")
 	listen := flag.String("listen", "",
 		"with -cluster, serve live fleet metrics over HTTP on this address (/metrics Prometheus text, /metrics.json)")
 	metricsJSON := flag.String("metrics-json", "", "write the final metrics snapshot as JSON here (\"-\" for stdout)")
@@ -85,13 +91,19 @@ func main() {
 	defaultUsage := flag.Usage
 	flag.Usage = func() {
 		defaultUsage()
-		fmt.Fprintf(flag.CommandLine.Output(), "\n%s\n", fault.SpecHelp)
+		fmt.Fprintf(flag.CommandLine.Output(), "\n%s\n\n%s\n", fault.SpecHelp, fault.FleetSpecHelp)
 	}
 	flag.Parse()
 
+	var fleet fault.FleetPlan
 	if *faults != "" {
-		if _, err := fault.Parse(*faults); err != nil {
-			fmt.Fprintf(os.Stderr, "quamon: %v\n%s\n", err, fault.SpecHelp)
+		var err error
+		if fleet, err = fault.ParseFleet(*faults); err != nil {
+			fmt.Fprintf(os.Stderr, "quamon: %v\n%s\n%s\n", err, fault.SpecHelp, fault.FleetSpecHelp)
+			os.Exit(2)
+		}
+		if fleet.FleetOnly() && !*clusterMode && *table == "" {
+			fmt.Fprintln(os.Stderr, "quamon: link=/part=/vmfault= clauses need -cluster (or a cluster -table)")
 			os.Exit(2)
 		}
 	}
@@ -105,10 +117,6 @@ func main() {
 		os.Exit(2)
 	}
 	if *clusterMode {
-		if *faults != "" {
-			fmt.Fprintln(os.Stderr, "quamon: -faults is not supported with -cluster")
-			os.Exit(2)
-		}
 		// The -watch default window (2ms simulated) is far too fine for
 		// wall-clock fleet sampling; only an explicit -interval-us
 		// overrides the 500ms cluster default.
@@ -122,6 +130,7 @@ func main() {
 			vms: *vms, conns: *conns, churn: *churn, seed: *seed,
 			listen: *listen, intervalUS: iv, windows: *windows,
 			metricsJSON: *metricsJSON, prom: *promOut,
+			faults: fleet, timeout: *timeout, maxResends: *maxResends,
 		}))
 	}
 	if *watch {

@@ -36,7 +36,7 @@ import (
 func main() {
 	table := flag.String("table", "all",
 		"which table to regenerate: all or one of "+strings.Join(bench.Names(), ",")+
-			" (8 is an alias for cluster)")
+			" (8 is an alias for cluster, 9 for recovery)")
 	iters := flag.Int("iters", 200, "loop count for the Table 1 programs (for the cluster table: measurement window in ms)")
 	runs := flag.Int("runs", 1, "generate each table this many times; rows report the median with min/max spread")
 	profile := flag.Bool("profile", false, "attach the profiler to Table 1 runs (adds a coverage row)")
@@ -46,18 +46,19 @@ func main() {
 	top := flag.Int("top", 10, "regions to show in the -profile-run report")
 	traceJSON := flag.String("trace-json", "", "write the -profile-run Chrome trace (about:tracing JSON) here")
 	jsonDir := flag.String("json", "", "also write each table as a BENCH_*.json artifact into this directory")
-	faults := flag.String("faults", "", "inject faults into every machine the tables boot (see grammar below)")
+	faults := flag.String("faults", "", "inject faults into every machine the tables boot; "+
+		"fleet clauses (link=/part=/vmfault=) apply to the cluster tables' fabric (see grammar below)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the -faults schedule; a seed replays exactly")
 	defaultUsage := flag.Usage
 	flag.Usage = func() {
 		defaultUsage()
-		fmt.Fprintf(flag.CommandLine.Output(), "\n%s\n", fault.SpecHelp)
+		fmt.Fprintf(flag.CommandLine.Output(), "\n%s\n\n%s\n", fault.SpecHelp, fault.FleetSpecHelp)
 	}
 	flag.Parse()
 
 	if *faults != "" {
-		if _, err := fault.Parse(*faults); err != nil {
-			fmt.Fprintf(os.Stderr, "synbench: %v\n%s\n", err, fault.SpecHelp)
+		if _, err := fault.ParseFleet(*faults); err != nil {
+			fmt.Fprintf(os.Stderr, "synbench: %v\n%s\n%s\n", err, fault.SpecHelp, fault.FleetSpecHelp)
 			os.Exit(2)
 		}
 	}

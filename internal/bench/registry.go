@@ -98,30 +98,41 @@ func Names() []string {
 	return names
 }
 
-// Run generates the named table. When cfg.FaultSpec is set, the
-// parsed plan is staged so that every rig booted while the table
-// generates attaches a seeded injector (see attachFaults in rig.go).
+// Run generates the named table. When cfg.FaultSpec is set, the spec
+// is parsed with the fleet grammar (a superset of the single-machine
+// one): the Base plan is staged for every rig booted while the table
+// generates (see attachFaults in rig.go), and the full fleet plan is
+// staged for the cluster tables, which apply it to the fabric. Fleet
+// clauses (link=/part=/vmfault=) only make sense against a fabric, so
+// they are rejected for single-machine tables.
 func Run(name string, cfg RunConfig) (Table, error) {
-	fn, ok := registry[Resolve(name)]
+	canonical := Resolve(name)
+	fn, ok := registry[canonical]
 	if !ok {
 		return Table{}, fmt.Errorf("bench: unknown table %q (have %v)", name, Names())
 	}
 	if cfg.FaultSpec != "" {
-		plan, err := fault.Parse(cfg.FaultSpec)
+		plan, err := fault.ParseFleet(cfg.FaultSpec)
 		if err != nil {
 			return Table{}, err
 		}
-		activeFaults = &plan
+		if plan.FleetOnly() && canonical != "cluster" && canonical != "recovery" {
+			return Table{}, fmt.Errorf("bench: table %q is single-machine; link=/part=/vmfault= clauses need -table cluster or recovery", name)
+		}
+		activeFaults = &plan.Base
+		activeFleet = &plan
 		activeFaultSeed = cfg.FaultSeed
-		defer func() { activeFaults = nil }()
+		defer func() { activeFaults, activeFleet = nil, nil }()
 	}
 	return fn(cfg)
 }
 
-// Staged fault schedule for the current Run call; rigs consult it at
-// boot. Bench runs are single-goroutine, so a package cell suffices.
+// Staged fault schedule for the current Run call; rigs consult
+// activeFaults at boot, the cluster tables consult activeFleet. Bench
+// runs are single-goroutine, so package cells suffice.
 var (
 	activeFaults    *fault.Plan
+	activeFleet     *fault.FleetPlan
 	activeFaultSeed int64
 )
 

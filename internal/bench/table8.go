@@ -53,7 +53,7 @@ func table8(cfg RunConfig) (Table, error) {
 			"host wall-clock rates (nondeterministic): gate on the RunN median, warn-only in CI", window),
 	}
 	for _, sh := range table8Shapes {
-		c := cluster.New(cluster.Config{
+		ccfg := cluster.Config{
 			VMs:          sh.vms,
 			SocketsPerVM: 8,
 			Conns:        sh.conns,
@@ -66,7 +66,12 @@ func table8(cfg RunConfig) (Table, error) {
 			// (every reply arrives stale). The resend path still covers
 			// real loss (churn drops, ring overflow).
 			Timeout: 500 * time.Millisecond,
-		})
+		}
+		if activeFleet != nil {
+			// A -faults spec applies to the fabric and every member VM.
+			ccfg.Faults = *activeFleet
+		}
+		c := cluster.New(ccfg)
 		c.Start()
 		// Warm up until every logical connection has completed at least
 		// one round trip: connections whose first frames raced their

@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"synthesis/internal/cluster"
+	"synthesis/internal/fault"
+	"synthesis/internal/net"
+)
+
+// Table 9: the fleet fault plane. Not a paper table — the paper's
+// quarter of a million interrupts per second assumed a healthy wire —
+// but the robustness counterpart of Table 8: the same synthesized
+// per-socket paths under symmetric frame loss (0/5/15%), a scripted
+// host<->vm partition with a measured heal, and churn composed with
+// loss. Throughput and RTT quantiles come from the load generator's
+// wall-clock histograms; recovery latency is measured per severed
+// connection from the heal instant to its first completed round trip
+// (cluster.loadgen.recovery_ms), backoff waits and all.
+//
+// Wall-clock rates are nondeterministic by design: generated via RunN
+// for a median and gated warn-only (the -warn-tables flag in the
+// Makefile gate), like Table 8.
+//
+// Invoked as `synbench -table 9` (alias) or `-table recovery`
+// (canonical); the artifact is BENCH_recovery.json either way.
+
+func init() {
+	Register("recovery", table9)
+	RegisterAlias("9", "recovery")
+}
+
+const (
+	t9VMs      = 2
+	t9Conns    = 64
+	t9Severed  = t9Conns / t9VMs // conns behind the host|vm1 cut
+	t9Hold     = 250 * time.Millisecond
+	t9Timeout  = 25 * time.Millisecond
+	t9Backoff  = 200 * time.Millisecond
+	t9Resends  = 30 // generous: a loss point must never abandon a conn
+)
+
+func table9(cfg RunConfig) (Table, error) {
+	// Iters is the per-point measurement window in wall milliseconds.
+	window := time.Duration(cfg.Iters) * time.Millisecond
+	if cfg.Iters <= 0 {
+		window = 200 * time.Millisecond
+	}
+	if window < 40*time.Millisecond {
+		window = 40 * time.Millisecond
+	}
+
+	t := Table{
+		Title: "Table 9. Fleet fault plane: loss sweep, partition/heal recovery, churn under loss",
+		Note: fmt.Sprintf("%d vm x %d conns; symmetric link loss via the fabric fault plane; %v wall window per point; "+
+			"recovery is per-severed-connection heal-to-first-reply; warn-only in CI (wall-clock)", t9VMs, t9Conns, window),
+	}
+
+	// Loss sweep: 0/5/15% symmetric loss on every host<->vm link.
+	for _, loss := range []float64{0, 0.05, 0.15} {
+		rows, err := t9LossPoint(fmt.Sprintf("loss %g%%", loss*100), loss, 0, window)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, rows...)
+	}
+
+	// Churn composed with loss: sockets close and reopen mid-stream
+	// while the wire is lossy — resynthesis drops and wire drops share
+	// one resend path.
+	rows, err := t9LossPoint("loss 5% churn", 0.05, 64, window)
+	if err != nil {
+		return Table{}, err
+	}
+	t.Rows = append(t.Rows, rows...)
+
+	// Partition/heal: cut vm1 off the host mid-traffic, hold, heal,
+	// and measure every severed connection's recovery latency.
+	rows, err = t9Recovery()
+	if err != nil {
+		return Table{}, err
+	}
+	t.Rows = append(t.Rows, rows...)
+	return t, nil
+}
+
+// t9Cluster boots the table's fixed fleet shape under a fault spec.
+func t9Cluster(spec string, churn int) (*cluster.Cluster, error) {
+	plan, err := fault.ParseFleet(spec)
+	if err != nil {
+		return nil, err
+	}
+	if activeFleet != nil {
+		// A -faults spec composes: its per-VM Base rides under the
+		// table's own link schedule.
+		plan.Base = fault.Merge(activeFleet.Base, plan.Base)
+	}
+	c := cluster.New(cluster.Config{
+		VMs:          t9VMs,
+		SocketsPerVM: 8,
+		Conns:        t9Conns,
+		PayloadBytes: 64,
+		ChurnEvery:   churn,
+		Seed:         1,
+		Timeout:      t9Timeout,
+		MaxBackoff:   t9Backoff,
+		MaxResends:   t9Resends,
+		Faults:       plan,
+	})
+	c.Start()
+	// Warm up until every logical connection has completed a round
+	// trip; under 15% loss that rides a few resend timeouts. Bounded so
+	// a wedged fleet fails instead of hanging.
+	deadline := time.Now().Add(15 * time.Second)
+	for c.ActiveConns() < t9Conns && time.Now().Before(deadline) {
+		if err := c.Err(); err != nil {
+			c.Stop()
+			return nil, err
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if c.ActiveConns() < t9Conns {
+		c.Stop()
+		return nil, fmt.Errorf("bench: table 9 %q: only %d/%d connections came live",
+			spec, c.ActiveConns(), t9Conns)
+	}
+	return c, nil
+}
+
+// t9LossPoint measures one steady-state point of the sweep.
+func t9LossPoint(label string, loss float64, churn int, window time.Duration) ([]Row, error) {
+	spec := ""
+	if loss > 0 {
+		spec = fmt.Sprintf("link=0>*:drop=%g;link=*>0:drop=%g", loss, loss)
+	}
+	c, err := t9Cluster(spec, churn)
+	if err != nil {
+		return nil, err
+	}
+	s0 := c.Snapshot()
+	time.Sleep(window)
+	s1 := c.Snapshot()
+	c.Stop()
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	d := s1.Delta(s0)
+	rtt := d.Hists["cluster.loadgen.rtt_us"]
+	rows := []Row{
+		{Name: label + " aggregate", Measured: d.Rate("cluster.fabric.routed"),
+			Unit: "fr/s", Note: fmt.Sprintf("%d round trips in window", rtt.Count)},
+		{Name: label + " rtt p50", Measured: rtt.Quantile(0.50), Unit: "us"},
+		{Name: label + " rtt p99", Measured: rtt.Quantile(0.99), Unit: "us"},
+	}
+	if loss > 0 {
+		rows = append(rows, Row{Name: label + " resends", Measured: d.Rate("cluster.loadgen.resends"),
+			Unit: "1/s", Note: "timeout-driven resend rate holding goodput"})
+	}
+	return rows, nil
+}
+
+// t9Recovery runs one partition/heal cycle and reports the measured
+// recovery-latency distribution across the severed connections.
+func t9Recovery() ([]Row, error) {
+	c, err := t9Cluster("", 0)
+	if err != nil {
+		return nil, err
+	}
+	c.Cut([]int{net.HostNode}, []int{1})
+	time.Sleep(t9Hold)
+	c.Heal()
+
+	// Every severed connection must land one recovery observation.
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := c.Err(); err != nil {
+			c.Stop()
+			return nil, err
+		}
+		n := c.Snapshot().Hists["cluster.loadgen.recovery_ms"].Count
+		if n >= t9Severed && c.AwaitingRecovery() == 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	c.Stop()
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	s := c.Snapshot()
+	h := s.Hists["cluster.loadgen.recovery_ms"]
+	if h.Count < t9Severed {
+		return nil, fmt.Errorf("bench: table 9 recovery: %d/%d severed connections recovered",
+			h.Count, t9Severed)
+	}
+	// Liveness invariant: a healed fleet abandons nothing.
+	if gaveUp := s.Counters["cluster.loadgen.gave_up"]; gaveUp != 0 {
+		return nil, fmt.Errorf("bench: table 9 recovery: %d connections gave up across the heal", gaveUp)
+	}
+	note := fmt.Sprintf("%v partition of vm1, %d severed conns, resend cap %d", t9Hold, t9Severed, t9Resends)
+	return []Row{
+		{Name: "recovery p50", Measured: h.Quantile(0.50), Unit: "ms", Note: note},
+		{Name: "recovery p99", Measured: h.Quantile(0.99), Unit: "ms"},
+		{Name: "recovery max", Measured: float64(h.Max), Unit: "ms",
+			Note: "slowest connection's heal-to-first-reply"},
+	}, nil
+}

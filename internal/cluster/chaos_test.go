@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"synthesis/internal/net"
+)
+
+// TestChaosSoak is the seeded, bounded chaos run CI executes under
+// -race (the chaos-soak make target): two VMs take live echo traffic
+// through lossy/corrupting/delaying links, per-VM injected ring-full
+// drops, and socket churn, then a full host<->vm1 partition and heal.
+// The invariants:
+//
+//   - no VM driver error — faults never crash a member, they only
+//     lose, damage, or delay frames;
+//   - acked-byte sequence integrity — every connection's completed
+//     sequence count sums exactly to the reply counter, and the host
+//     never accepts a damaged frame (corruption is injected only
+//     toward the VMs, so host bad_sum must stay zero);
+//   - liveness — with the resend cap set generously, no connection
+//     gives up, and every connection the cut severed completes a
+//     round trip after the heal;
+//   - exact fabric accounting — the conservation identity over the
+//     fault plane's counters balances to the frame.
+func TestChaosSoak(t *testing.T) {
+	cfg := fleetConfig(t, 2,
+		"link=0>1:drop=0.03,corrupt=0.02;"+
+			"link=0>2:drop=0.03,dup=0.02;"+
+			"link=*>0:drop=0.02,delay=0.05:0.5;"+
+			"vmfault=1:ringfull=0.05")
+	cfg.SocketsPerVM = 4
+	cfg.Conns = 32
+	cfg.PayloadBytes = 64
+	cfg.ChurnEvery = 96
+	cfg.Timeout = 10 * time.Millisecond
+	cfg.MaxResends = 30
+	cfg.Seed = 11
+
+	c := New(cfg)
+	c.Start()
+	waitReplies(t, c, 300, 60*time.Second)
+
+	// Partition vm1 from the host mid-traffic, hold, heal. 32 conns
+	// dealt round-robin over 2 VMs put 16 behind the cut.
+	const severed = 16
+	c.Cut([]int{net.HostNode}, []int{1})
+	time.Sleep(250 * time.Millisecond)
+	c.Heal()
+
+	// Every severed connection must complete a post-heal round trip,
+	// each landing one observation in the recovery histogram.
+	deadline := time.Now().Add(30 * time.Second)
+	var recovered uint64
+	for time.Now().Before(deadline) {
+		if err := c.Err(); err != nil {
+			t.Fatal(err)
+		}
+		recovered = c.Snapshot().Hists["cluster.loadgen.recovery_ms"].Count
+		if recovered >= severed && c.AwaitingRecovery() == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := c.AwaitingRecovery(); recovered < severed || n != 0 {
+		t.Fatalf("recovery stalled: %d/%d connections recovered, %d still waiting",
+			recovered, severed, n)
+	}
+	c.Stop()
+
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.GaveUpConns(); n != 0 {
+		t.Fatalf("%d connections gave up despite the generous resend cap", n)
+	}
+	if got, want := c.SeqSum(), c.Replies(); got != want {
+		t.Fatalf("acked sequence sum %d != replies %d", got, want)
+	}
+
+	s := c.Snapshot()
+	if bad := s.Counters["cluster.loadgen.bad_sum"]; bad != 0 {
+		t.Errorf("host accepted %d damaged frames (corruption aims only at VMs)", bad)
+	}
+	if s.Counters["cluster.loadgen.gave_up"] != 0 {
+		t.Errorf("gave_up counter = %d, want 0", s.Counters["cluster.loadgen.gave_up"])
+	}
+	rec := s.Hists["cluster.loadgen.recovery_ms"]
+	if rec.Count == 0 {
+		t.Error("no recovery-latency observations after the heal")
+	}
+	if s.Counters["cluster.fault.heals"] != 1 || s.Counters["cluster.fault.cuts"] != 1 {
+		t.Errorf("cuts/heals = %d/%d, want 1/1",
+			s.Counters["cluster.fault.cuts"], s.Counters["cluster.fault.heals"])
+	}
+
+	// The conservation identity, to the frame: every offered frame
+	// (plus every dup the plane created) is routed, dropped at a full
+	// ring, eaten by the partition, eaten by a link rule, refused by a
+	// throttle, or flushed at shutdown.
+	in := s.Counters["cluster.fabric.offered"] + s.Counters["cluster.fault.link.duplicated"]
+	out := s.Counters["cluster.fabric.routed"] +
+		s.Counters["cluster.fabric.dropped"] +
+		s.Counters["cluster.fault.part_dropped"] +
+		s.Counters["cluster.fault.link.dropped"] +
+		s.Counters["cluster.fault.link.throttle_refused"] +
+		s.Counters["cluster.fault.link.flushed"]
+	if in != out {
+		t.Errorf("conservation broken: in %d != out %d (%+v)", in, out, s.Counters)
+	}
+
+	// The faults actually fired: a soak that injected nothing proves
+	// nothing.
+	for _, name := range []string{
+		"cluster.fault.link.dropped",
+		"cluster.fault.link.corrupted",
+		"cluster.fault.link.delayed",
+		"cluster.fault.part_dropped",
+		"cluster.loadgen.resends",
+	} {
+		if s.Counters[name] == 0 {
+			t.Errorf("%s = 0: the chaos plan never exercised this fault", name)
+		}
+	}
+}

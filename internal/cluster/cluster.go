@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"synthesis/internal/asmkit"
+	"synthesis/internal/fault"
 	"synthesis/internal/kernel"
 	"synthesis/internal/kio"
 	"synthesis/internal/m68k"
@@ -73,10 +74,23 @@ type Config struct {
 	ChurnEvery int
 	// ChunkCycles bounds each VM execution chunk (default 4096).
 	ChunkCycles uint64
-	// Timeout is the load generator's resend timeout (default 50ms).
+	// Timeout is the load generator's initial resend timeout (default
+	// 50ms). Each unanswered resend doubles the wait up to MaxBackoff.
 	Timeout time.Duration
-	// Seed fixes the payload padding generator.
+	// MaxResends caps resend attempts per message; past the cap the
+	// connection gives up (counted in cluster.loadgen.gave_up) and goes
+	// silent. 0 means never give up.
+	MaxResends int
+	// MaxBackoff caps the doubled resend wait (default 16x Timeout,
+	// at most 2s).
+	MaxBackoff time.Duration
+	// Seed fixes the payload padding generator (and, xored with a
+	// plane constant, the fault plane's draws).
 	Seed int64
+	// Faults is the fleet fault schedule: per-link fabric rules,
+	// scripted partitions, and per-VM injector plans (see
+	// fault.FleetSpecHelp). The zero value injects nothing.
+	Faults fault.FleetPlan
 	// Metrics is the shared registry; each VM registers under a
 	// vm<i>. prefix. A fresh registry is created when nil.
 	Metrics *metrics.Registry
@@ -109,6 +123,15 @@ func (cfg *Config) setDefaults() {
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 16 * cfg.Timeout
+		if cfg.MaxBackoff > 2*time.Second {
+			cfg.MaxBackoff = 2 * time.Second
+		}
+	}
+	if cfg.MaxBackoff < cfg.Timeout {
+		cfg.MaxBackoff = cfg.Timeout
 	}
 }
 
@@ -169,23 +192,34 @@ type Cluster struct {
 
 	vms      []*VM
 	hostRing *net.PacketRing
-	conns    []lgConn
+	fp       *faultPlane
 	padSeed  uint64
 	start    time.Time
+
+	// lgMu guards the load generator's connection table; the generator
+	// holds it across each sweep, probes (ConnStates, AwaitingRecovery)
+	// take it briefly.
+	lgMu  sync.Mutex
+	conns []lgConn
 
 	stop    atomic.Bool
 	wg      sync.WaitGroup
 	started bool
 	nActive atomic.Int64
 
-	mRouted   *metrics.Counter
-	mDropped  *metrics.Counter
-	mSent     *metrics.Counter
-	mReplies  *metrics.Counter
-	mTimeouts *metrics.Counter
-	mStale    *metrics.Counter
-	mBadSum   *metrics.Counter
-	hRTT      *metrics.Hist
+	mOffered     *metrics.Counter
+	mRouted      *metrics.Counter
+	mDropped     *metrics.Counter
+	mUndecodable *metrics.Counter
+	mSent        *metrics.Counter
+	mReplies     *metrics.Counter
+	mTimeouts    *metrics.Counter
+	mResends     *metrics.Counter
+	mGaveUp      *metrics.Counter
+	mStale       *metrics.Counter
+	mBadSum      *metrics.Counter
+	hRTT         *metrics.Hist
+	hRecovery    *metrics.Hist
 }
 
 // New boots a fleet per cfg: VMs each with kio installed, guest echo
@@ -205,15 +239,21 @@ func New(cfg Config) *Cluster {
 		padSeed:  uint64(cfg.Seed)*0x9e3779b97f4a7c15 + 1,
 		start:    time.Now(),
 
-		mRouted:   reg.Counter("cluster.fabric.routed"),
-		mDropped:  reg.Counter("cluster.fabric.dropped"),
-		mSent:     reg.Counter("cluster.loadgen.sent"),
-		mReplies:  reg.Counter("cluster.loadgen.replies"),
-		mTimeouts: reg.Counter("cluster.loadgen.timeouts"),
-		mStale:    reg.Counter("cluster.loadgen.stale"),
-		mBadSum:   reg.Counter("cluster.loadgen.bad_sum"),
-		hRTT:      reg.Hist("cluster.loadgen.rtt_us"),
+		mOffered:     reg.Counter("cluster.fabric.offered"),
+		mRouted:      reg.Counter("cluster.fabric.routed"),
+		mDropped:     reg.Counter("cluster.fabric.dropped"),
+		mUndecodable: reg.Counter("cluster.fabric.undecodable"),
+		mSent:        reg.Counter("cluster.loadgen.sent"),
+		mReplies:     reg.Counter("cluster.loadgen.replies"),
+		mTimeouts:    reg.Counter("cluster.loadgen.timeouts"),
+		mResends:     reg.Counter("cluster.loadgen.resends"),
+		mGaveUp:      reg.Counter("cluster.loadgen.gave_up"),
+		mStale:       reg.Counter("cluster.loadgen.stale"),
+		mBadSum:      reg.Counter("cluster.loadgen.bad_sum"),
+		hRTT:         reg.Hist("cluster.loadgen.rtt_us"),
+		hRecovery:    reg.Hist("cluster.loadgen.recovery_ms"),
 	}
+	c.fp = newFaultPlane(c, cfg.Faults, cfg.Seed)
 
 	for id := 1; id <= cfg.VMs; id++ {
 		c.vms = append(c.vms, c.bootVM(id))
@@ -254,6 +294,27 @@ func (c *Cluster) bootVM(id int) *VM {
 	c.Reg.SampleGauge(fmt.Sprintf("cluster.fabric.vm%d.ingress_depth", id),
 		func() float64 { return float64(vm.ingress.Len()) })
 
+	// Compose the member's own fault injector: the Base plan (plain
+	// single-machine clauses apply fleet-wide) overlaid with this VM's
+	// vmfault= clause. The injector runs inside the driver goroutine
+	// under vm.mu, so its stats are safe to sample from
+	// Cluster.Snapshot, which quiesces every VM.
+	plan := c.cfg.Faults.Base
+	for _, vf := range c.cfg.Faults.VMFaults {
+		if vf.VM == id {
+			plan = fault.Merge(plan, vf.Plan)
+		}
+	}
+	if !plan.Empty() {
+		inj := fault.New(plan, c.cfg.Seed+int64(id))
+		inj.Attach(k.M)
+		pfx := fmt.Sprintf("vm%d.fault.", id)
+		c.Reg.Sample(pfx+"wire_dropped", func() uint64 { return inj.Stats.Dropped })
+		c.Reg.Sample(pfx+"wire_corrupted", func() uint64 { return inj.Stats.Corrupted })
+		c.Reg.Sample(pfx+"wire_duplicated", func() uint64 { return inj.Stats.Duplicated })
+		c.Reg.Sample(pfx+"forced_full", func() uint64 { return inj.Stats.ForcedFull })
+	}
+
 	// One guest echo thread per socket. Each thread opens its own
 	// socket (the open synthesizes that socket's send/recv code) and
 	// echoes forever; under churn it closes and reopens on a period.
@@ -275,7 +336,7 @@ func (c *Cluster) bootVM(id int) *VM {
 func (c *Cluster) routeRaw(from int, frame []byte) bool {
 	f, ok := net.DecodeFrame(frame)
 	if !ok {
-		c.mDropped.Inc()
+		c.mUndecodable.Inc()
 		return false
 	}
 	return c.route(from, f)
@@ -284,24 +345,44 @@ func (c *Cluster) routeRaw(from int, frame []byte) bool {
 // route switches one frame by the node byte of its destination. Host-
 // bound frames get the source VM's node pushed onto Src (the reverse
 // of the tag pop at VM ingress), so the host can tell fleet members
-// apart. Returns false — transmitter-visible backpressure — when the
-// destination ring is full or the node does not exist.
+// apart. When the fault plane is armed, the frame transits it first:
+// silent losses (drop, partition) still return true — a network does
+// not report the frames it eats — while throttle overflow returns
+// false, the same transmitter-visible backpressure as a full ring.
+// Returns false when the destination ring is full or the node does
+// not exist. Every frame lands in exactly one counter family:
+//
+//	offered == routed + dropped + plane-consumed
 func (c *Cluster) route(from int, f net.Frame) bool {
+	c.mOffered.Inc()
 	node := net.NodeOf(f.Dst)
-	if node == net.HostNode {
-		f.Src = net.MakeAddr(from, net.PortOf(f.Src))
-		if !c.hostRing.Put(f) {
-			c.mDropped.Inc()
-			return false
-		}
-		c.mRouted.Inc()
-		return true
-	}
-	if node < 1 || node > len(c.vms) {
+	if node != net.HostNode && (node < 1 || node > len(c.vms)) {
 		c.mDropped.Inc()
 		return false
 	}
-	if !c.vms[node-1].ingress.Put(f) {
+	if node == net.HostNode {
+		f.Src = net.MakeAddr(from, net.PortOf(f.Src))
+	}
+	if c.fp.enabled.Load() {
+		deliver, ok := c.fp.transit(from, node, &f)
+		if !deliver {
+			return ok
+		}
+	}
+	return c.deliver(node, f)
+}
+
+// deliver puts one frame on its destination ring, counting the
+// outcome. The plane's pump and dup paths re-enter here, so held and
+// duplicated frames share the routed/dropped accounting.
+func (c *Cluster) deliver(node int, f net.Frame) bool {
+	var ring *net.PacketRing
+	if node == net.HostNode {
+		ring = c.hostRing
+	} else {
+		ring = c.vms[node-1].ingress
+	}
+	if !ring.Put(f) {
 		c.mDropped.Inc()
 		return false
 	}
@@ -315,6 +396,13 @@ func (c *Cluster) Start() {
 		return
 	}
 	c.started = true
+	c.fp.mu.Lock()
+	c.fp.epoch = time.Now()
+	c.fp.mu.Unlock()
+	if c.fp.timed() {
+		c.wg.Add(1)
+		go c.faultPump()
+	}
 	for _, vm := range c.vms {
 		c.wg.Add(1)
 		go c.drive(vm)
@@ -428,3 +516,45 @@ func (c *Cluster) ActiveConns() int { return int(c.nActive.Load()) }
 
 // VMs returns the fleet members (host view, for tests).
 func (c *Cluster) VMs() []*VM { return c.vms }
+
+// AwaitingRecovery reports how many connections a heal event marked
+// that have not yet completed their first post-heal round trip. Zero
+// once the fleet has fully recovered.
+func (c *Cluster) AwaitingRecovery() int {
+	c.lgMu.Lock()
+	defer c.lgMu.Unlock()
+	n := 0
+	for i := range c.conns {
+		if c.conns[i].recovering {
+			n++
+		}
+	}
+	return n
+}
+
+// GaveUpConns reports how many connections hit the resend cap and went
+// silent. The chaos soak's liveness invariant demands zero after heal.
+func (c *Cluster) GaveUpConns() int {
+	c.lgMu.Lock()
+	defer c.lgMu.Unlock()
+	n := 0
+	for i := range c.conns {
+		if c.conns[i].gaveUp {
+			n++
+		}
+	}
+	return n
+}
+
+// SeqSum sums every connection's completed round trips; equal to
+// Replies() by construction — the soak asserts the identity to pin
+// acked-sequence integrity.
+func (c *Cluster) SeqSum() uint64 {
+	c.lgMu.Lock()
+	defer c.lgMu.Unlock()
+	var n uint64
+	for i := range c.conns {
+		n += uint64(c.conns[i].seq)
+	}
+	return n
+}

@@ -12,9 +12,13 @@ import (
 // with a one-message window — send, wait for the echo, send again —
 // matching replies by the connection id carried in the payload, so
 // thousands of connections multiplex over the per-VM socket capacity.
-// Lost messages (fabric drop, NIC ring overflow, a port mid-churn)
-// are resent after a wall-clock timeout; nothing in the fleet is ever
-// blocked on the host.
+// Lost messages (fabric drop, NIC ring overflow, a port mid-churn,
+// link faults, a partition) are resent after a wall-clock timeout;
+// each unanswered resend doubles the wait up to MaxBackoff, and a
+// connection that hits MaxResends gives up and goes silent — the
+// generator distinguishes suspecting loss (timeouts), acting on it
+// (resends), and abandoning the connection (gave_up). Nothing in the
+// fleet is ever blocked on the host.
 
 // lgConn is one logical connection's state.
 type lgConn struct {
@@ -22,7 +26,16 @@ type lgConn struct {
 	port     uint32 // guest socket port (plain, pre-tag)
 	seq      uint32
 	inflight bool
-	sentAt   time.Time
+	sentAt   time.Time // current attempt's launch (RTT measures the attempt)
+	deadline time.Time // when the current attempt is declared lost
+	resends  int       // consecutive resends of the current message
+	gaveUp   bool      // hit MaxResends; the connection is silent
+
+	// Recovery bookkeeping: set when a heal event names this
+	// connection's VM, cleared by the first reply after it, whose
+	// latency from the heal instant lands in cluster.loadgen.recovery_ms.
+	recovering  bool
+	recoverFrom time.Time
 }
 
 // payload renders [conn id (4)][seq (4)][seeded padding] at the
@@ -44,8 +57,22 @@ func (c *Cluster) payload(id int, seq uint32) []byte {
 	return p
 }
 
+// backoff is the wait before declaring the attempt after `resends`
+// earlier resends lost: Timeout doubled per resend, capped at
+// MaxBackoff.
+func (c *Cluster) backoff(resends int) time.Duration {
+	w := c.cfg.Timeout
+	for i := 0; i < resends && w < c.cfg.MaxBackoff; i++ {
+		w <<= 1
+	}
+	if w > c.cfg.MaxBackoff {
+		w = c.cfg.MaxBackoff
+	}
+	return w
+}
+
 // sendConn launches (or relaunches) the connection's current message
-// into the fabric toward its guest socket.
+// into the fabric toward its guest socket. Callers hold lgMu.
 func (c *Cluster) sendConn(id int, cn *lgConn) {
 	p := c.payload(id, cn.seq)
 	f := net.Frame{
@@ -59,10 +86,12 @@ func (c *Cluster) sendConn(id int, cn *lgConn) {
 	c.route(net.HostNode, f)
 	cn.inflight = true
 	cn.sentAt = time.Now()
+	cn.deadline = cn.sentAt.Add(c.backoff(cn.resends))
 	c.mSent.Inc()
 }
 
-// handleReply matches one host-bound frame to its connection.
+// handleReply matches one host-bound frame to its connection. Callers
+// hold lgMu.
 func (c *Cluster) handleReply(f net.Frame) {
 	if f.Sum != net.Checksum(f.Payload) {
 		c.mBadSum.Inc()
@@ -84,8 +113,16 @@ func (c *Cluster) handleReply(f net.Frame) {
 		c.mStale.Inc()
 		return
 	}
-	c.hRTT.Observe(uint64(time.Since(cn.sentAt) / time.Microsecond))
+	now := time.Now()
+	c.hRTT.Observe(uint64(now.Sub(cn.sentAt) / time.Microsecond))
+	if cn.recovering {
+		// Time to first reply after the heal: the fleet's measured
+		// recovery latency, backoff waits and all.
+		c.hRecovery.Observe(uint64(now.Sub(cn.recoverFrom) / time.Millisecond))
+		cn.recovering = false
+	}
 	cn.inflight = false
+	cn.resends = 0
 	if cn.seq == 0 {
 		// First completed trip on this connection: it is live end to
 		// end (its socket opened, its frames route). Benchmarks warm
@@ -97,12 +134,40 @@ func (c *Cluster) handleReply(f net.Frame) {
 	c.mReplies.Inc()
 }
 
+// drainHeals applies pending heal events: every live connection whose
+// VM the cut had severed from the host starts a recovery-latency
+// measurement from the heal instant.
+func (c *Cluster) drainHeals() {
+	for {
+		select {
+		case ev := <-c.fp.healCh:
+			if len(ev.vms) == 0 {
+				continue // the cut never separated the host from anyone
+			}
+			c.lgMu.Lock()
+			for i := range c.conns {
+				cn := &c.conns[i]
+				if ev.vms[cn.vm] && !cn.gaveUp && !cn.recovering {
+					cn.recovering = true
+					cn.recoverFrom = ev.at
+				}
+			}
+			c.lgMu.Unlock()
+		default:
+			return
+		}
+	}
+}
+
 // loadgen is the generator goroutine: drain replies, keep every
-// connection's window full, resend on timeout.
+// connection's window full, resend on timeout with capped exponential
+// backoff.
 func (c *Cluster) loadgen() {
 	defer c.wg.Done()
 	for !c.stop.Load() {
+		c.drainHeals()
 		progress := false
+		c.lgMu.Lock()
 		for {
 			f, ok := c.hostRing.Get()
 			if !ok {
@@ -115,15 +180,25 @@ func (c *Cluster) loadgen() {
 		for i := range c.conns {
 			cn := &c.conns[i]
 			switch {
+			case cn.gaveUp:
+				// Past the resend cap: silent until the run ends.
 			case !cn.inflight:
 				c.sendConn(i, cn)
 				progress = true
-			case now.Sub(cn.sentAt) > c.cfg.Timeout:
+			case now.After(cn.deadline):
 				c.mTimeouts.Inc()
+				if c.cfg.MaxResends > 0 && cn.resends >= c.cfg.MaxResends {
+					cn.gaveUp = true
+					c.mGaveUp.Inc()
+					break
+				}
+				cn.resends++
+				c.mResends.Inc()
 				c.sendConn(i, cn)
 				progress = true
 			}
 		}
+		c.lgMu.Unlock()
 		if !progress {
 			// Idle: every window is full and no replies are queued.
 			// Yield real CPU to the VM drivers instead of spinning.

@@ -27,22 +27,52 @@ func TestParseFullSpec(t *testing.T) {
 func TestParseRejectsMalformedSpecs(t *testing.T) {
 	for _, spec := range []string{
 		"drop",            // no value
+		"drop=",           // empty value
 		"drop=1.5",        // probability out of range
+		"drop=NaN",        // NaN sneaks past naive range checks
+		"drop=two",        // non-numeric probability
 		"corrupt=-0.1",    // negative probability
+		"dup=1.01",        // just past the top of the range
+		"ringfull=-1",     // negative probability
 		"jitter=abc",      // non-numeric cycles
+		"jitter=-5",       // negative cycles
 		"delay=0.5",       // missing cycle count
-		"spurious=9:100",  // IPL out of range
+		"delay=0.5:",      // empty cycle count
+		"delay=2:100",     // probability out of range
+		"spurious=9:100",  // IPL out of range (high)
+		"spurious=0:100",  // IPL out of range (low)
+		"spurious=7",      // missing gap
 		"spurious=7:0",    // zero mean gap
 		"storm=1@100:5",   // missing gap
 		"storm=1@100:0x5", // zero count
+		"storm=1@100:-2x5",   // negative count
+		"storm=8@100:5x10",   // IPL out of range
+		"storm=1:100:5x10",   // missing @
 		"buserr=disk",     // missing access index
 		"buserr=disk@0",   // access index is 1-based
+		"buserr=disk@x",   // non-numeric access index
 		"buserr=@3",       // empty device
 		"warp=0.5",        // unknown kind
+		"drop=0.1,warp=1", // good item does not mask a bad one
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q) accepted a malformed spec", spec)
 		}
+	}
+}
+
+// TestParseRepeatedItems pins the documented accumulate/last-wins
+// semantics: scalar knobs take the last value, schedule items stack.
+func TestParseRepeatedItems(t *testing.T) {
+	p, err := Parse("drop=0.1,drop=0.3,spurious=7:100,spurious=6:200,buserr=disk@1,buserr=disk@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Drop != 0.3 {
+		t.Errorf("Drop = %v, want the last value 0.3", p.Drop)
+	}
+	if len(p.Spurious) != 2 || len(p.BusErrs) != 2 {
+		t.Errorf("schedule items did not accumulate: %+v", p)
 	}
 }
 

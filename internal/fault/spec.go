@@ -142,7 +142,7 @@ func FromSpec(spec string, seed int64) (*Injector, error) {
 
 func prob(s string) (float64, error) {
 	v, err := strconv.ParseFloat(s, 64)
-	if err != nil || v < 0 || v > 1 {
+	if err != nil || v != v || v < 0 || v > 1 { // v != v rejects NaN
 		return 0, fmt.Errorf("probability %q must be in [0,1]", s)
 	}
 	return v, nil

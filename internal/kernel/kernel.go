@@ -215,7 +215,13 @@ func Boot(cfg Config) *Kernel {
 		e.Stop(m68k.FlagS) // wait for any interrupt, then re-check
 		e.Bra("loop")
 		e.Label("leave")
-		// Someone else is runnable: step out of their way.
+		// Someone else is runnable: step out of their way. Masked from
+		// unlink through the switch trap: a device interrupt landing in
+		// between would wake a thread while GCurTTE is this already-
+		// unlinked TTE, and the ISR's rq_insert would splice against
+		// its zeroed TTENext and poison the ready ring. The STOP above
+		// reopens the mask on the next pass.
+		e.OrSR(srIPLMask)
 		e.Jsr(k.rtUnlink)
 		e.Trap(TrapSwitch) // re-entered here when re-inserted
 		e.Bra("loop")

@@ -139,12 +139,23 @@ func (k *Kernel) synthesizeShared() {
 	// unblocking faster. Since we have eliminated the general blocked
 	// queue, we do not have to traverse it" (Section 4.1).
 	k.rtBlockOn = c.Synthesize(kq, "block_on", nil, func(e *synth.Emitter) {
+		// The whole park runs with interrupts masked, cell-arm through
+		// context save. A wake interrupt landing half-way would either
+		// find the cell armed while the thread is still in the ring (a
+		// lost wakeup) or — after rq_leave, before the switch trap —
+		// find GCurTTE pointing at a TTE already unlinked, and the
+		// ISR's rq_insert would splice against its zeroed TTENext and
+		// poison the ring. The trap's stacked SR carries the mask
+		// through the park; the caller's level is restored on resume.
+		e.MoveFromSR(m68k.PreDec(7))
+		e.OrSR(srIPLMask)
 		e.MoveL(m68k.Abs(GCurTTE), m68k.A(1))
 		e.MoveL(m68k.A(1), m68k.Ind(0)) // cell = self
 		e.MoveL(m68k.A(0), m68k.Disp(TTEWaitsOn, 1))
 		e.Jsr(k.rtLeave)
-		e.Trap(TrapSwitch) // save context, run someone else
-		e.Rts()            // resumed here after wake
+		e.Trap(TrapSwitch)          // save context, run someone else
+		e.MoveToSR(m68k.PostInc(7)) // resumed here after wake
+		e.Rts()
 	})
 
 	// --- wakeCell: unblock the thread parked on the cell in A0, if
@@ -201,6 +212,9 @@ func (k *Kernel) synthesizeShared() {
 	// trace bit stays set in the stacked SR, so each subsequent
 	// start/step resumes for exactly one more instruction.
 	k.rtTraceStop = c.Synthesize(kq, "trace_stop", nil, func(e *synth.Emitter) {
+		// Masked across leave-ring -> switch (see block_on); the Rte
+		// restores the traced thread's own level on restart.
+		e.OrSR(srIPLMask)
 		e.MoveL(m68k.A(0), m68k.PreDec(7))
 		e.MoveL(m68k.A(1), m68k.PreDec(7))
 		e.MoveL(m68k.D(0), m68k.PreDec(7))
@@ -272,6 +286,7 @@ func (k *Kernel) synthesizeShared() {
 		e.Bne("killsw")
 		e.Halt() // the faulting thread was the last one
 		e.Label("killsw")
+		e.OrSR(srIPLMask) // masked across leave-ring -> switch (see block_on)
 		e.MoveL(m68k.Abs(GCurTTE), m68k.A(0))
 		e.MoveL(m68k.A(0), m68k.D(1))
 		e.Jsr(k.rtLeave)
@@ -502,6 +517,7 @@ func (k *Kernel) synthesizeDispatch(kq *synth.Quaject) uint32 {
 		e.Kcall(SvcFreeTTE)
 		e.Rte()
 		e.Label("selfdestroy")
+		e.OrSR(srIPLMask) // masked across leave-ring -> switch (see block_on)
 		e.Jsr(k.rtLeave)
 		e.Kcall(SvcFreeTTE)
 		e.Trap(TrapSwitch) // never resumed
@@ -514,9 +530,10 @@ func (k *Kernel) synthesizeDispatch(kq *synth.Quaject) uint32 {
 		e.Jsr(k.rtUnlink)
 		e.Rte()
 		e.Label("stopself")
+		e.OrSR(srIPLMask) // masked across leave-ring -> switch (see block_on)
 		e.Jsr(k.rtLeave)
 		e.Trap(TrapSwitch) // parked until start
-		e.Rte()
+		e.Rte()           // restores the caller's SR, and with it the level
 
 		e.Label("start")
 		e.MoveL(m68k.D(1), m68k.A(0))
@@ -558,6 +575,7 @@ func (k *Kernel) synthesizeDispatch(kq *synth.Quaject) uint32 {
 		e.Bne("exitsw")
 		e.Halt() // simulation over: every user thread is done
 		e.Label("exitsw")
+		e.OrSR(srIPLMask) // masked across leave-ring -> switch (see block_on)
 		e.MoveL(m68k.Abs(GCurTTE), m68k.A(0))
 		e.MoveL(m68k.A(0), m68k.D(1))
 		e.Jsr(k.rtLeave)

@@ -44,8 +44,12 @@ cluster-soak:
 	$(GO) test -race -count 1 -timeout 180s \
 		-run 'TestClusterSoak|TestNoReecho|TestSnapshotDuringRun' ./internal/cluster/
 
+# FLIGHT_DIR makes a failing soak write the fleet's flight-recorder
+# dumps there (CI uploads the directory as an artifact).
+FLIGHT_DIR ?= bench/flight
+
 chaos-soak:
-	$(GO) test -race -count 1 -timeout 180s \
+	FLIGHT_DIR=$(FLIGHT_DIR) $(GO) test -race -count 1 -timeout 180s \
 		-run 'TestChaosSoak|TestFabricDropAccountingExact' ./internal/cluster/
 
 bench:
@@ -61,7 +65,7 @@ bench-json:
 	$(GO) run ./cmd/synbench -json bench/out -runs 3
 
 benchdiff:
-	$(GO) run ./cmd/benchdiff -noise 2 -warn-tables cluster,recovery bench/baseline bench/out
+	$(GO) run ./cmd/benchdiff -noise 2 -warn-tables cluster,recovery,rtt bench/baseline bench/out
 
 bench-baseline:
 	$(GO) run ./cmd/synbench -json bench/baseline -runs 3

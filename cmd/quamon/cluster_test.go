@@ -13,9 +13,10 @@ import (
 
 // The -listen acceptance path: a live fleet's metrics must be
 // scrapeable over HTTP as Prometheus text and as JSON, with the
-// per-VM prefixes intact.
+// per-VM prefixes intact, the liveness probe answering, and the
+// merged trace endpoint serving valid Chrome-trace JSON.
 func TestClusterMuxServesFleetMetrics(t *testing.T) {
-	c := cluster.New(cluster.Config{VMs: 1, Conns: 8, Seed: 1})
+	c := cluster.New(cluster.Config{VMs: 1, Conns: 8, Seed: 1, TraceEvery: 4})
 	c.Start()
 	defer c.Stop()
 
@@ -65,5 +66,67 @@ func TestClusterMuxServesFleetMetrics(t *testing.T) {
 	var snap map[string]any
 	if err := json.Unmarshal([]byte(body), &snap); err != nil {
 		t.Fatalf("/metrics.json is not valid JSON: %v", err)
+	}
+
+	if health, _ := get("/healthz"); !strings.Contains(health, "ok") {
+		t.Errorf("/healthz = %q, want ok", health)
+	}
+
+	trace, ctype := get("/trace.json")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/trace.json content type = %q", ctype)
+	}
+	var tf map[string]any
+	if err := json.Unmarshal([]byte(trace), &tf); err != nil {
+		t.Fatalf("/trace.json is not valid JSON: %v", err)
+	}
+	if _, ok := tf["traceEvents"]; !ok {
+		t.Error("/trace.json has no traceEvents array")
+	}
+	for _, want := range []string{`"fabric/loadgen"`, `"vm1"`} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("/trace.json missing process row %s", want)
+		}
+	}
+}
+
+// The /healthz probe flips to 503 once a fleet member dies; the body
+// carries the fatal error so the prober's log says what happened.
+func TestClusterMuxHealthzUnhealthy(t *testing.T) {
+	c := cluster.New(cluster.Config{VMs: 1, Conns: 4, Seed: 2, Flight: true})
+	c.Start()
+	defer c.Stop()
+
+	srv := httptest.NewServer(clusterMux(c))
+	defer srv.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Replies() == 0 && time.Now().Before(deadline) {
+		if err := c.Err(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	c.KillVM(1, "probe test")
+	deadline = time.Now().Add(10 * time.Second)
+	for c.Err() == nil && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if c.Err() == nil {
+		t.Fatal("KillVM did not surface a fleet error")
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 503 {
+		t.Fatalf("/healthz status = %d after VM death, want 503 (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "unhealthy") {
+		t.Errorf("/healthz body = %q, want the error", body)
 	}
 }

@@ -22,11 +22,18 @@
 //	quamon -watch -program workload.s    # or an assembly text file
 //	quamon -cluster -vms 4 -conns 128    # boot a fleet on the switch fabric
 //	quamon -cluster -windows 0 -listen :9090   # serve live fleet metrics over HTTP
+//	quamon -cluster -trace-every 8 -trace-json fleet.json   # merged per-hop fleet trace
+//	quamon -cluster -flight              # arm the flight recorder (dump on VM death)
 //
 // -cluster boots N Quamachines bridged by the switch fabric under
 // multiplexed echo load (the Table 8 rig) and streams wall-clock
 // metric windows; -listen serves the live fleet's metrics over HTTP
-// as Prometheus text (/metrics) and JSON (/metrics.json).
+// as Prometheus text (/metrics), JSON (/metrics.json), a liveness
+// probe (/healthz), and the merged Chrome trace (/trace.json).
+// -trace-every samples echo round trips through the fleet trace
+// plane, attributing each to its eight hops; -trace-json writes the
+// merged fleet timeline at exit. -flight keeps a per-VM flight
+// recorder armed and dumps the dying VM's tail to stderr on failure.
 //
 // -watch boots the full kernel (network, UNIX emulator, watchdog),
 // drives a workload, and streams metric deltas every -interval-us of
@@ -61,7 +68,8 @@ func main() {
 	traceN := flag.Int("trace", 48, "trace entries to display")
 	profile := flag.Bool("profile", false, "attach the measurement plane and report cycle attribution")
 	top := flag.Int("top", 10, "regions to show in the -profile report")
-	traceJSON := flag.String("trace-json", "", "write the profile's Chrome trace (about:tracing JSON) here")
+	traceJSON := flag.String("trace-json", "",
+		"write the Chrome trace (about:tracing JSON) here: the profile's with -profile, the merged fleet trace with -cluster")
 	table := flag.String("table", "",
 		"regenerate a bench table instead of the demo: one of "+strings.Join(bench.Names(), ","))
 	iters := flag.Int("iters", 200, "loop count for -table 1 and finite -program workloads")
@@ -85,7 +93,11 @@ func main() {
 	maxResends := flag.Int("max-resends", 0,
 		"with -cluster, resends before a connection gives up (0 = never give up)")
 	listen := flag.String("listen", "",
-		"with -cluster, serve live fleet metrics over HTTP on this address (/metrics Prometheus text, /metrics.json)")
+		"with -cluster, serve the live fleet over HTTP on this address (/metrics, /metrics.json, /healthz, /trace.json)")
+	traceEvery := flag.Int("trace-every", 0,
+		"with -cluster, sample one echo round trip in N through the per-hop trace plane (0 = off)")
+	flight := flag.Bool("flight", false,
+		"with -cluster, arm the per-VM flight recorder; a dying VM dumps its tail to stderr")
 	metricsJSON := flag.String("metrics-json", "", "write the final metrics snapshot as JSON here (\"-\" for stdout)")
 	promOut := flag.String("prom", "", "write the final metrics snapshot as Prometheus text here (\"-\" for stdout)")
 	defaultUsage := flag.Usage
@@ -116,6 +128,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "quamon: -listen requires -cluster")
 		os.Exit(2)
 	}
+	if (*traceEvery != 0 || *flight) && !*clusterMode {
+		fmt.Fprintln(os.Stderr, "quamon: -trace-every and -flight require -cluster")
+		os.Exit(2)
+	}
 	if *clusterMode {
 		// The -watch default window (2ms simulated) is far too fine for
 		// wall-clock fleet sampling; only an explicit -interval-us
@@ -131,6 +147,7 @@ func main() {
 			listen: *listen, intervalUS: iv, windows: *windows,
 			metricsJSON: *metricsJSON, prom: *promOut,
 			faults: fleet, timeout: *timeout, maxResends: *maxResends,
+			traceEvery: *traceEvery, traceJSON: *traceJSON, flight: *flight,
 		}))
 	}
 	if *watch {

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"synthesis/internal/cluster"
+)
+
+// Table 10: RTT decomposition. Table 8 measured the fleet's
+// single-core wall — RTT p50 growing with VM count — but could not
+// say where the time lives. This table turns the trace plane on
+// (1-in-8 sampling) and sweeps the Table 8 VM shapes, attributing
+// each sampled round trip to its eight hops: fabric out, ingress
+// dwell, IRQ entry, demux, receive wakeup, guest send, fabric back,
+// host dwell. Every shape closes with a conservation row — the mean
+// traced hop sum over the mean traced RTT, exactly 1 by the
+// telescoping identity (the trace plane's unit test asserts it per
+// request; the row keeps the generated artifact honest).
+//
+// Tracing attaches the profiler to every VM, so absolute rates here
+// sit below Table 8's: this table buys attribution, not throughput.
+// Wall-clock and nondeterministic — gated warn-only via the RunN
+// median like the other cluster tables.
+//
+// Invoked as `synbench -table 10` (alias) or `-table rtt`
+// (canonical); the artifact is BENCH_rtt.json.
+
+func init() {
+	Register("rtt", table10)
+	RegisterAlias("10", "rtt")
+}
+
+// table10Shapes sweeps VM count at a fixed 32 connections per VM —
+// the same scaling axis as Table 8's wall.
+var table10Shapes = []struct {
+	vms, conns int
+}{
+	{1, 32},
+	{2, 64},
+	{4, 128},
+	{8, 256},
+}
+
+func table10(cfg RunConfig) (Table, error) {
+	window := time.Duration(cfg.Iters) * time.Millisecond
+	if cfg.Iters <= 0 {
+		window = 200 * time.Millisecond
+	}
+	if window < 40*time.Millisecond {
+		window = 40 * time.Millisecond
+	}
+
+	t := Table{
+		Title: "Table 10. RTT decomposition: per-hop attribution of the fleet echo round trip",
+		Note: fmt.Sprintf("traced hop p50 (p99, share of traced rtt in notes) over a %v wall window per shape, "+
+			"1-in-8 sampling; conservation = hop-mean sum / independently measured rtt mean, near 1.0 "+
+			"(per-request the hops telescope exactly; the quotient adds sampling noise); "+
+			"host wall-clock (nondeterministic): gate on the RunN median, warn-only in CI", window),
+	}
+	for _, sh := range table10Shapes {
+		ccfg := cluster.Config{
+			VMs:          sh.vms,
+			SocketsPerVM: 8,
+			Conns:        sh.conns,
+			PayloadBytes: 64,
+			Seed:         1,
+			Timeout:      500 * time.Millisecond,
+			TraceEvery:   8,
+		}
+		if activeFleet != nil {
+			ccfg.Faults = *activeFleet
+		}
+		c := cluster.New(ccfg)
+		c.Start()
+		warmDeadline := time.Now().Add(5 * time.Second)
+		for c.ActiveConns() < sh.conns && time.Now().Before(warmDeadline) {
+			if err := c.Err(); err != nil {
+				c.Stop()
+				return Table{}, err
+			}
+			time.Sleep(time.Millisecond)
+		}
+		s0 := c.Snapshot()
+		time.Sleep(window)
+		s1 := c.Snapshot()
+		c.Stop()
+		if err := c.Err(); err != nil {
+			return Table{}, err
+		}
+
+		d := s1.Delta(s0)
+		label := fmt.Sprintf("%d vm", sh.vms)
+
+		// The independently measured RTT over the window (all
+		// requests, traced or not) anchors the decomposition.
+		rtt := d.Hists["cluster.loadgen.rtt_us"]
+		t.Rows = append(t.Rows,
+			Row{Name: label + " rtt p50", Measured: rtt.Quantile(0.50), Unit: "us",
+				Note: fmt.Sprintf("%d conns, %d round trips in window", sh.conns, rtt.Count)},
+			Row{Name: label + " rtt p99", Measured: rtt.Quantile(0.99), Unit: "us"},
+		)
+
+		// Per-hop quantiles from the window's traced requests, plus
+		// the share each hop's mean takes of the traced total.
+		var hopMeans [cluster.HopCount]float64
+		var traced uint64
+		var total float64
+		for i := 0; i < cluster.HopCount; i++ {
+			h := d.Hists["cluster.trace.hop."+cluster.HopName(i)+"_us"]
+			hopMeans[i] = h.Mean()
+			total += h.Mean()
+			traced = h.Count
+		}
+		if traced == 0 {
+			return Table{}, fmt.Errorf("table10: no completed traces in the %v window at %d vms", window, sh.vms)
+		}
+		for i := 0; i < cluster.HopCount; i++ {
+			h := d.Hists["cluster.trace.hop."+cluster.HopName(i)+"_us"]
+			share := 0.0
+			if total > 0 {
+				share = 100 * hopMeans[i] / total
+			}
+			t.Rows = append(t.Rows, Row{
+				Name:     fmt.Sprintf("%s hop %s p50", label, cluster.HopName(i)),
+				Measured: h.Quantile(0.50), Unit: "us",
+				Note: fmt.Sprintf("p99 %.0fus, %.1f%% of traced rtt", h.Quantile(0.99), share),
+			})
+		}
+
+		// Conservation: the sum of the hop means against the mean RTT
+		// the load generator measured independently over the same
+		// window. Per traced request the hops telescope to the RTT
+		// exactly (asserted in the trace plane's unit test); here the
+		// quotient compares the traced sample against the whole
+		// population, so it hovers near 1 with sampling noise and the
+		// hop histograms' microsecond truncation. A material deviation
+		// means a hop went missing or the sample stopped representing
+		// the load.
+		conserv := 0.0
+		if m := rtt.Mean(); m > 0 {
+			conserv = total / m
+		}
+		t.Rows = append(t.Rows, Row{
+			Name: label + " conservation", Paper: 1.0, Measured: conserv, Unit: "x",
+			Note: fmt.Sprintf("hop-mean sum / loadgen rtt mean, %d traced round trips", traced),
+		})
+	}
+	return t, nil
+}

@@ -1,11 +1,44 @@
 package cluster
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"synthesis/internal/net"
 )
+
+// dumpFlightOnFailure arranges for the fleet's flight-recorder state
+// to be written to $FLIGHT_DIR if the test fails — CI uploads the
+// directory as an artifact, turning the next soak heisenbug from a
+// bisect hunt into reading a dump.
+func dumpFlightOnFailure(t *testing.T, c *Cluster) {
+	t.Helper()
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		dir := os.Getenv("FLIGHT_DIR")
+		if dir == "" {
+			return
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Logf("flight dump: %v", err)
+			return
+		}
+		var b strings.Builder
+		c.DumpFlight(&b)
+		path := filepath.Join(dir, fmt.Sprintf("%s.flight.txt", t.Name()))
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			t.Logf("flight dump: %v", err)
+			return
+		}
+		t.Logf("flight dump written to %s", path)
+	})
+}
 
 // TestChaosSoak is the seeded, bounded chaos run CI executes under
 // -race (the chaos-soak make target): two VMs take live echo traffic
@@ -37,8 +70,14 @@ func TestChaosSoak(t *testing.T) {
 	cfg.Timeout = 10 * time.Millisecond
 	cfg.MaxResends = 30
 	cfg.Seed = 11
+	// The observability plane soaks with the chaos: tracing through a
+	// faulty fleet exercises the abandon paths, and the flight
+	// recorder is armed so a failure ships a dump (FLIGHT_DIR).
+	cfg.TraceEvery = 16
+	cfg.Flight = true
 
 	c := New(cfg)
+	dumpFlightOnFailure(t, c)
 	c.Start()
 	waitReplies(t, c, 300, 60*time.Second)
 
@@ -122,5 +161,17 @@ func TestChaosSoak(t *testing.T) {
 		if s.Counters[name] == 0 {
 			t.Errorf("%s = 0: the chaos plan never exercised this fault", name)
 		}
+	}
+
+	// The trace plane rode through the chaos: sampled traces stay
+	// accounted (completed, incomplete, abandoned, or pending) and
+	// faulted transits still complete some chains.
+	sampled, completed, incomplete, abandoned := c.TraceCounts()
+	if accounted := completed + incomplete + abandoned; accounted > sampled {
+		t.Errorf("trace accounting leak: %d completed + %d incomplete + %d abandoned > %d sampled",
+			completed, incomplete, abandoned, sampled)
+	}
+	if sampled == 0 || completed == 0 {
+		t.Errorf("trace plane idle under chaos: sampled=%d completed=%d", sampled, completed)
 	}
 }

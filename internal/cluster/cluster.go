@@ -37,6 +37,7 @@ import (
 	"synthesis/internal/m68k"
 	"synthesis/internal/metrics"
 	"synthesis/internal/net"
+	"synthesis/internal/prof"
 	"synthesis/internal/unixemu"
 )
 
@@ -94,6 +95,20 @@ type Config struct {
 	// Metrics is the shared registry; each VM registers under a
 	// vm<i>. prefix. A fresh registry is created when nil.
 	Metrics *metrics.Registry
+	// TraceEvery samples one in N fresh request launches into the
+	// fleet trace plane (see trace.go). 0 — the default — disables
+	// tracing entirely: the hot paths pay one nil check. Enabling it
+	// also attaches the profiler to every VM (the trace plane's IRQ
+	// and region hooks ride on it), which slows the interpreter;
+	// tracing is an observability mode, not a benchmark default.
+	TraceEvery int
+	// TraceKeep bounds the completed traces retained for Chrome
+	// export (default 512).
+	TraceKeep int
+	// Flight arms the per-VM flight recorder: the profiler's event
+	// ring plus a hardware instruction-trace ring, rendered into a
+	// dump the moment a VM driver fails (see flight.go).
+	Flight bool
 }
 
 func (cfg *Config) setDefaults() {
@@ -145,6 +160,10 @@ type VM struct {
 	mu      sync.Mutex // held around drain+Run chunks and by Snapshot
 	ingress *net.PacketRing
 	err     error
+	// clk maps this VM's cycle clock onto the fleet wall clock from
+	// sync points the driver records at chunk boundaries. Nil unless
+	// tracing or the flight recorder is on.
+	clk *prof.ClockMap
 }
 
 func (vm *VM) setErr(err error) {
@@ -167,7 +186,7 @@ func (vm *VM) Err() error {
 // the ring's free space: frames the device can't take stay queued in
 // the fabric ring instead of being dropped at the device. Returns the
 // number of frames moved, the driver's busy signal.
-func (vm *VM) drainIngress() int {
+func (c *Cluster) drainIngress(vm *VM) int {
 	nic := vm.K.Net
 	n := 0
 	for nic.RxPending() < kio.NetRingSlots {
@@ -177,6 +196,9 @@ func (vm *VM) drainIngress() int {
 		}
 		f.Dst = net.PortOf(f.Dst)
 		nic.InjectFrame(net.EncodeFrame(f))
+		if c.tr != nil && c.tr.active.Load() > 0 {
+			c.tr.onDeposit(vm.ID, &f, vm.K.M.Clock())
+		}
 		n++
 	}
 	return n
@@ -195,6 +217,10 @@ type Cluster struct {
 	fp       *faultPlane
 	padSeed  uint64
 	start    time.Time
+	// tr is the fleet trace plane (nil when TraceEvery == 0); flight
+	// holds captured failure dumps (nil when Flight is off).
+	tr     *tracer
+	flight *flightState
 
 	// lgMu guards the load generator's connection table; the generator
 	// holds it across each sweep, probes (ConnStates, AwaitingRecovery)
@@ -254,6 +280,12 @@ func New(cfg Config) *Cluster {
 		hRecovery:    reg.Hist("cluster.loadgen.recovery_ms"),
 	}
 	c.fp = newFaultPlane(c, cfg.Faults, cfg.Seed)
+	if cfg.TraceEvery > 0 {
+		c.tr = newTracer(c, cfg.TraceEvery, cfg.TraceKeep)
+	}
+	if cfg.Flight {
+		c.flight = &flightState{}
+	}
 
 	for id := 1; id <= cfg.VMs; id++ {
 		c.vms = append(c.vms, c.bootVM(id))
@@ -280,16 +312,39 @@ func New(cfg Config) *Cluster {
 // its metrics under a vm<i>. prefix, the NIC's Tx hook pointed at the
 // fabric, and one guest echo thread per socket.
 func (c *Cluster) bootVM(id int) *VM {
+	// Tracing and the flight recorder both ride the profiler's hooks;
+	// neither is a benchmark default, so the plane only attaches (and
+	// pays its per-step cost) when asked for.
+	observed := c.tr != nil || c.flight != nil
 	mcfg := m68k.Sun3Config()
+	if c.flight != nil {
+		mcfg = flightMachineConfig(mcfg)
+	}
 	k := kernel.Boot(kernel.Config{
 		Machine:         mcfg,
 		ChargeSynthesis: true,
+		Profile:         observed,
 		Metrics:         c.Reg.Sub(fmt.Sprintf("vm%d.", id)),
 	})
 	io := kio.Install(k)
 	unixemu.Install(k)
 
 	vm := &VM{ID: id, K: k, IO: io, ingress: net.NewPacketRing(ingressSlots)}
+	if observed {
+		vm.clk = prof.NewClockMap(mcfg.ClockMHz)
+	}
+	if c.tr != nil {
+		k.Prof.OnIRQ = func(level, vec int, raisedAt, takenAt uint64) {
+			if level == m68k.IRQNet && c.tr.active.Load() > 0 {
+				c.tr.onIRQ(id, takenAt)
+			}
+		}
+		k.Prof.OnRegionEnter = func(name string, at uint64) {
+			if c.tr.active.Load() > 0 {
+				c.tr.onRegion(id, name, at)
+			}
+		}
+	}
 	k.Net.Tx = func(frame []byte) bool { return c.routeRaw(id, frame) }
 	c.Reg.SampleGauge(fmt.Sprintf("cluster.fabric.vm%d.ingress_depth", id),
 		func() float64 { return float64(vm.ingress.Len()) })
@@ -362,6 +417,11 @@ func (c *Cluster) route(from int, f net.Frame) bool {
 	}
 	if node == net.HostNode {
 		f.Src = net.MakeAddr(from, net.PortOf(f.Src))
+		// A traced reply leaving its VM: stamp the launch before the
+		// return fabric transit (fault delays land in fabric_back).
+		if c.tr != nil && from != net.HostNode && c.tr.active.Load() > 0 {
+			c.tr.onTx(from, &f, c.vms[from-1].K.M.Clock())
+		}
 	}
 	if c.fp.enabled.Load() {
 		deliver, ok := c.fp.transit(from, node, &f)
@@ -381,6 +441,15 @@ func (c *Cluster) deliver(node int, f net.Frame) bool {
 		ring = c.hostRing
 	} else {
 		ring = c.vms[node-1].ingress
+	}
+	// The trace stamp lands before the Put: once the frame is on the
+	// ring the consumer can race ahead of this goroutine, and a later
+	// stamp would leave the hop chain wedged behind an event the
+	// consumer already tried to record. A stamp on a frame the ring
+	// then refuses is harmless — the lost message gets resent, which
+	// abandons the trace.
+	if c.tr != nil && c.tr.active.Load() > 0 {
+		c.tr.onDeliver(node, &f, time.Now())
 	}
 	if !ring.Put(f) {
 		c.mDropped.Inc()
@@ -432,10 +501,15 @@ func (c *Cluster) drive(vm *VM) {
 			vm.mu.Unlock()
 			return
 		}
-		busy := vm.drainIngress() > 0
+		busy := c.drainIngress(vm) > 0
 		tx0 := vm.K.Net.TxLaunched()
 		err := vm.K.Run(c.cfg.ChunkCycles)
 		busy = busy || vm.K.Net.TxLaunched() != tx0 || vm.K.Net.RxPending() > 0
+		if vm.clk != nil {
+			// One sync point per chunk: the cycle↔wall relation the
+			// merged trace timeline interpolates between.
+			vm.clk.Sync(vm.K.M.Clock(), c.nowNS(time.Now()))
+		}
 		vm.mu.Unlock()
 		if err == nil {
 			// Run maps a machine halt to nil: every guest thread exited,
@@ -467,6 +541,9 @@ func (c *Cluster) drive(vm *VM) {
 }
 
 func (c *Cluster) recordVMErr(vm *VM, err error) {
+	// Capture the flight dump before publishing the error: the rings
+	// still hold the failure's tail, and nothing else runs this VM.
+	c.captureFlight(vm, err)
 	vm.setErr(err)
 }
 
@@ -503,6 +580,21 @@ func (c *Cluster) Err() error {
 		}
 	}
 	return nil
+}
+
+// KillVM injects a fatal guest panic into VM id (1-based): the
+// driver's next chunk surfaces ErrPanic, the flight recorder (when
+// armed) captures the dying VM's tail, and Err() goes non-nil. A
+// chaos primitive for exercising member-death handling end to end —
+// the same path a real guest panic trap takes.
+func (c *Cluster) KillVM(id int, msg string) {
+	if id < 1 || id > len(c.vms) {
+		return
+	}
+	vm := c.vms[id-1]
+	vm.mu.Lock()
+	vm.K.PanicMsg = msg
+	vm.mu.Unlock()
 }
 
 // Replies reports completed echo round trips (host view).

@@ -81,12 +81,20 @@ func (c *Cluster) sendConn(id int, cn *lgConn) {
 		Sum:     net.Checksum(p),
 		Payload: p,
 	}
+	// The launch clock read happens before the frame enters the
+	// fabric: the trace plane's first hop stamp and the RTT's sentAt
+	// are the same instant, so a traced request's hop deltas
+	// telescope to exactly the measured RTT.
+	now := time.Now()
+	if c.tr != nil && cn.resends == 0 {
+		c.tr.onSend(cn.vm, id, cn.seq, cn.port, now)
+	}
 	// A full ingress ring counts as a fabric drop; the connection
 	// stays inflight and the timeout path resends.
 	c.route(net.HostNode, f)
 	cn.inflight = true
-	cn.sentAt = time.Now()
-	cn.deadline = cn.sentAt.Add(c.backoff(cn.resends))
+	cn.sentAt = now
+	cn.deadline = now.Add(c.backoff(cn.resends))
 	c.mSent.Inc()
 }
 
@@ -115,6 +123,11 @@ func (c *Cluster) handleReply(f net.Frame) {
 	}
 	now := time.Now()
 	c.hRTT.Observe(uint64(now.Sub(cn.sentAt) / time.Microsecond))
+	if c.tr != nil {
+		// The same clock read as the RTT observation closes the trace:
+		// the conservation identity's other endpoint.
+		c.tr.onRecv(id, seq, now)
+	}
 	if cn.recovering {
 		// Time to first reply after the heal: the fleet's measured
 		// recovery latency, backoff waits and all.
@@ -187,6 +200,11 @@ func (c *Cluster) loadgen() {
 				progress = true
 			case now.After(cn.deadline):
 				c.mTimeouts.Inc()
+				if c.tr != nil {
+					// A resent (or abandoned) message's reply can no
+					// longer be matched to one fabric transit.
+					c.tr.onAbandon(i)
+				}
 				if c.cfg.MaxResends > 0 && cn.resends >= c.cfg.MaxResends {
 					cn.gaveUp = true
 					c.mGaveUp.Inc()

@@ -26,7 +26,7 @@ func TestNoReecho(t *testing.T) {
 
 	drive := func(chunks int) {
 		for i := 0; i < chunks; i++ {
-			vm.drainIngress()
+			c.drainIngress(vm)
 			if err := vm.K.Run(4096); err == nil {
 				t.Fatal("vm halted")
 			}

@@ -40,10 +40,30 @@ func PromName(name string) string {
 	return b.String()
 }
 
+// promHelp rewrites a description for the # HELP line: backslashes
+// and newlines are the two characters the text format escapes.
+func promHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// writeHelp emits the family's # HELP line when the snapshot carries
+// a description for it.
+func (s Snapshot) writeHelp(w io.Writer, name, prom string) error {
+	h, ok := s.Help[name]
+	if !ok {
+		return nil
+	}
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n", prom, promHelp(h))
+	return err
+}
+
 // WritePrometheus writes the snapshot in the Prometheus text
 // exposition format (v0.0.4): counters and gauges as single samples,
 // histograms as cumulative _bucket{le=...} series with _sum and
-// _count. Families are emitted in sorted name order.
+// _count. Families are emitted in sorted name order; a family whose
+// metric was registered with a description gets a # HELP line before
+// its # TYPE.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	names := make([]string, 0, len(s.Counters))
 	for n := range s.Counters {
@@ -52,6 +72,9 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	sort.Strings(names)
 	for _, n := range names {
 		p := PromName(n)
+		if err := s.writeHelp(w, n, p); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", p, p, s.Counters[n]); err != nil {
 			return err
 		}
@@ -64,6 +87,9 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	sort.Strings(names)
 	for _, n := range names {
 		p := PromName(n)
+		if err := s.writeHelp(w, n, p); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", p, p, s.Gauges[n]); err != nil {
 			return err
 		}
@@ -77,6 +103,9 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	for _, n := range names {
 		h := s.Hists[n]
 		p := PromName(n)
+		if err := s.writeHelp(w, n, p); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", p); err != nil {
 			return err
 		}
@@ -99,11 +128,11 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 
 	// The snapshot's own time base rides along so scrapes line up with
 	// trace exports: µs = cycles / clock_mhz.
-	if _, err := fmt.Fprintf(w, "# TYPE synthesis_vm_cycles counter\nsynthesis_vm_cycles %d\n", s.Cycles); err != nil {
+	if _, err := fmt.Fprintf(w, "# HELP synthesis_vm_cycles VM clock at sample time (divide by clock_mhz for simulated microseconds).\n# TYPE synthesis_vm_cycles counter\nsynthesis_vm_cycles %d\n", s.Cycles); err != nil {
 		return err
 	}
 	if s.ClockMHz != 0 {
-		if _, err := fmt.Fprintf(w, "# TYPE synthesis_vm_clock_mhz gauge\nsynthesis_vm_clock_mhz %g\n", s.ClockMHz); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP synthesis_vm_clock_mhz Simulated clock rate of the snapshot's cycle source.\n# TYPE synthesis_vm_clock_mhz gauge\nsynthesis_vm_clock_mhz %g\n", s.ClockMHz); err != nil {
 			return err
 		}
 	}

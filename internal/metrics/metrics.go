@@ -61,9 +61,23 @@ type regState struct {
 	hists    map[string]*Hist
 	sampledC map[string]func() uint64  // counter-typed sampled reads
 	sampledG map[string]func() float64 // gauge-typed sampled reads
+	help     map[string]string         // optional per-metric description
 
 	clock    func() uint64 // VM cycle source (Machine.Clock)
 	clockMHz float64
+}
+
+// setHelp records an optional description passed at handle creation
+// (caller holds mu). First writer wins, so the creation site that
+// documents a metric isn't overridden by later handle lookups that
+// omit the text.
+func (s *regState) setHelp(name string, help []string) {
+	if len(help) == 0 || help[0] == "" {
+		return
+	}
+	if _, ok := s.help[name]; !ok {
+		s.help[name] = help[0]
+	}
 }
 
 // Registry holds the named metrics for one kernel instance — or, via
@@ -85,6 +99,7 @@ func New() *Registry {
 		hists:    map[string]*Hist{},
 		sampledC: map[string]func() uint64{},
 		sampledG: map[string]func() float64{},
+		help:     map[string]string{},
 	}}
 }
 
@@ -127,8 +142,10 @@ func (r *Registry) SetClock(fn func() uint64, mhz float64) {
 }
 
 // Counter returns the named counter handle, creating it on first use.
-// Returns nil on a nil registry.
-func (r *Registry) Counter(name string) *Counter {
+// An optional help string documents the metric in expositions that
+// carry descriptions (Prometheus # HELP); the first non-empty one
+// registered wins. Returns nil on a nil registry.
+func (r *Registry) Counter(name string, help ...string) *Counter {
 	if r == nil {
 		return nil
 	}
@@ -140,11 +157,12 @@ func (r *Registry) Counter(name string) *Counter {
 		c = &Counter{}
 		r.s.counters[name] = c
 	}
+	r.s.setHelp(name, help)
 	return c
 }
 
 // Gauge returns the named gauge handle, creating it on first use.
-func (r *Registry) Gauge(name string) *Gauge {
+func (r *Registry) Gauge(name string, help ...string) *Gauge {
 	if r == nil {
 		return nil
 	}
@@ -156,11 +174,12 @@ func (r *Registry) Gauge(name string) *Gauge {
 		g = &Gauge{}
 		r.s.gauges[name] = g
 	}
+	r.s.setHelp(name, help)
 	return g
 }
 
 // Hist returns the named histogram handle, creating it on first use.
-func (r *Registry) Hist(name string) *Hist {
+func (r *Registry) Hist(name string, help ...string) *Hist {
 	if r == nil {
 		return nil
 	}
@@ -172,6 +191,7 @@ func (r *Registry) Hist(name string) *Hist {
 		h = &Hist{}
 		r.s.hists[name] = h
 	}
+	r.s.setHelp(name, help)
 	return h
 }
 
@@ -179,23 +199,25 @@ func (r *Registry) Hist(name string) *Hist {
 // time. This is how VM-memory cells maintained by synthesized code
 // (NQTxFail, GSpuriousIRQ, ...) join the plane with zero hot-path
 // cost: the cell read happens only when somebody looks.
-func (r *Registry) Sample(name string, fn func() uint64) {
+func (r *Registry) Sample(name string, fn func() uint64, help ...string) {
 	if r == nil {
 		return
 	}
 	r.s.mu.Lock()
 	r.s.sampledC[r.prefix+name] = fn
+	r.s.setHelp(r.prefix+name, help)
 	r.s.mu.Unlock()
 }
 
 // SampleGauge registers a gauge-typed sampled metric (occupancy and
 // other non-monotonic cell reads).
-func (r *Registry) SampleGauge(name string, fn func() float64) {
+func (r *Registry) SampleGauge(name string, fn func() float64, help ...string) {
 	if r == nil {
 		return
 	}
 	r.s.mu.Lock()
 	r.s.sampledG[r.prefix+name] = fn
+	r.s.setHelp(r.prefix+name, help)
 	r.s.mu.Unlock()
 }
 
@@ -234,6 +256,11 @@ func (r *Registry) UnregisterPrefix(prefix string) {
 	for n := range r.s.sampledG {
 		if hasPrefix(n, prefix) {
 			delete(r.s.sampledG, n)
+		}
+	}
+	for n := range r.s.help {
+		if hasPrefix(n, prefix) {
+			delete(r.s.help, n)
 		}
 	}
 }
@@ -280,6 +307,11 @@ type Snapshot struct {
 	Counters map[string]uint64       `json:"counters,omitempty"`
 	Gauges   map[string]float64      `json:"gauges,omitempty"`
 	Hists    map[string]HistSnapshot `json:"hists,omitempty"`
+	// Help carries the optional per-metric descriptions for
+	// expositions that render them (# HELP in the Prometheus text
+	// format). Excluded from JSON: descriptions are static metadata,
+	// not samples.
+	Help map[string]string `json:"-"`
 }
 
 // Micros returns the snapshot's timestamp in simulated microseconds.
@@ -304,6 +336,12 @@ func (r *Registry) Snapshot() Snapshot {
 		Counters: make(map[string]uint64, len(r.s.counters)+len(r.s.sampledC)),
 		Gauges:   make(map[string]float64, len(r.s.gauges)+len(r.s.sampledG)),
 		Hists:    make(map[string]HistSnapshot, len(r.s.hists)),
+	}
+	if len(r.s.help) > 0 {
+		s.Help = make(map[string]string, len(r.s.help))
+		for n, h := range r.s.help {
+			s.Help[n] = h
+		}
 	}
 	if r.s.clock != nil {
 		s.Cycles = r.s.clock()

@@ -289,10 +289,10 @@ func TestSnapshotJSONRoundTrip(t *testing.T) {
 func TestPrometheusGolden(t *testing.T) {
 	r := New()
 	r.SetClock(func() uint64 { return 1600 }, 16)
-	r.Counter("kernel.spurious_irq").Add(3)
+	r.Counter("kernel.spurious_irq", "Interrupts with no pending device cause.").Add(3)
 	r.Counter("kio.sock.7.tx_fail").Add(1)
-	r.Gauge("kio.sock.7.queue_depth").Set(2)
-	h := r.Hist("prof.irq.l6.latency_cycles")
+	r.Gauge("kio.sock.7.queue_depth", "Frames queued on the socket.").Set(2)
+	h := r.Hist("prof.irq.l6.latency_cycles", "IRQ raise-to-entry latency at IPL 6, in cycles.")
 	h.Observe(0)
 	h.Observe(5)
 	h.Observe(6)
@@ -301,12 +301,15 @@ func TestPrometheusGolden(t *testing.T) {
 	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
 	}
-	const golden = `# TYPE synthesis_kernel_spurious_irq counter
+	const golden = `# HELP synthesis_kernel_spurious_irq Interrupts with no pending device cause.
+# TYPE synthesis_kernel_spurious_irq counter
 synthesis_kernel_spurious_irq 3
 # TYPE synthesis_kio_sock_7_tx_fail counter
 synthesis_kio_sock_7_tx_fail 1
+# HELP synthesis_kio_sock_7_queue_depth Frames queued on the socket.
 # TYPE synthesis_kio_sock_7_queue_depth gauge
 synthesis_kio_sock_7_queue_depth 2
+# HELP synthesis_prof_irq_l6_latency_cycles IRQ raise-to-entry latency at IPL 6, in cycles.
 # TYPE synthesis_prof_irq_l6_latency_cycles histogram
 synthesis_prof_irq_l6_latency_cycles_bucket{le="0"} 1
 synthesis_prof_irq_l6_latency_cycles_bucket{le="1"} 1
@@ -315,12 +318,67 @@ synthesis_prof_irq_l6_latency_cycles_bucket{le="7"} 3
 synthesis_prof_irq_l6_latency_cycles_bucket{le="+Inf"} 3
 synthesis_prof_irq_l6_latency_cycles_sum 11
 synthesis_prof_irq_l6_latency_cycles_count 3
+# HELP synthesis_vm_cycles VM clock at sample time (divide by clock_mhz for simulated microseconds).
 # TYPE synthesis_vm_cycles counter
 synthesis_vm_cycles 1600
+# HELP synthesis_vm_clock_mhz Simulated clock rate of the snapshot's cycle source.
 # TYPE synthesis_vm_clock_mhz gauge
 synthesis_vm_clock_mhz 16
 `
 	if got := buf.String(); got != golden {
 		t.Errorf("prometheus exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, golden)
 	}
+}
+
+// Help-string registration semantics: first non-empty wins, Sub
+// prefixes apply, sampled metrics carry help, teardown removes it,
+// newlines/backslashes are escaped in the exposition, and JSON output
+// is unchanged by descriptions.
+func TestHelpRegistration(t *testing.T) {
+	r := New()
+	vm1 := r.Sub("vm1.")
+	vm1.Counter("kio.sock.5.rx_frames", "Frames received.")
+	vm1.Counter("kio.sock.5.rx_frames")                 // bare lookup keeps it
+	vm1.Counter("kio.sock.5.rx_frames", "Overwritten?") // later text loses
+	vm1.Sample("kernel.live_threads", func() uint64 { return 4 }, "Threads alive.")
+	r.Gauge("weird", "line one\nline two \\ done")
+
+	s := r.Snapshot()
+	if s.Help["vm1.kio.sock.5.rx_frames"] != "Frames received." {
+		t.Errorf("help = %q", s.Help["vm1.kio.sock.5.rx_frames"])
+	}
+	if s.Help["vm1.kernel.live_threads"] != "Threads alive." {
+		t.Errorf("sampled help = %q", s.Help["vm1.kernel.live_threads"])
+	}
+	var buf bytes.Buffer
+	if err := s.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# HELP synthesis_vm1_kio_sock_5_rx_frames Frames received.\n") {
+		t.Errorf("missing counter HELP:\n%s", out)
+	}
+	if !strings.Contains(out, `# HELP synthesis_weird line one\nline two \\ done`+"\n") {
+		t.Errorf("help escaping drifted:\n%s", out)
+	}
+
+	// JSON exposition ignores descriptions entirely.
+	buf.Reset()
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "Frames received") {
+		t.Errorf("help leaked into JSON:\n%s", buf.String())
+	}
+
+	// Teardown removes the description with the metric.
+	vm1.UnregisterPrefix("kio.sock.5.")
+	if h := r.Snapshot().Help; h["vm1.kio.sock.5.rx_frames"] != "" {
+		t.Errorf("help survived unregister: %q", h["vm1.kio.sock.5.rx_frames"])
+	}
+
+	// Nil plane: help variants must stay no-ops.
+	var nr *Registry
+	nr.Counter("x", "desc")
+	nr.Sample("x", func() uint64 { return 0 }, "desc")
 }

@@ -1,0 +1,158 @@
+package prof
+
+import (
+	"math"
+	"testing"
+)
+
+// TestClockMapRoundTrip exercises cycles→wall→cycles at several
+// simulated clock rates, with sync points spaced unevenly the way a
+// chunked fleet driver produces them.
+func TestClockMapRoundTrip(t *testing.T) {
+	for _, mhz := range []float64{1, 16, 25, 1000} {
+		cm := NewClockMap(mhz)
+		// Uneven host scheduling: equal cycle chunks take varying
+		// wall time.
+		cycle := uint64(0)
+		wall := int64(0)
+		walls := []int64{100_000, 250_000, 80_000, 500_000, 120_000}
+		for _, dw := range walls {
+			cm.Sync(cycle, wall)
+			cycle += 4096
+			wall += dw
+		}
+		cm.Sync(cycle, wall)
+
+		for q := uint64(0); q <= cycle; q += 512 {
+			w := cm.WallNS(q)
+			back := cm.CycleAt(w)
+			// Round-trip tolerance: one interpolation quantum. The
+			// wall resolution of a cycle is at most maxWallStep/4096
+			// ns per cycle; allow a few cycles of slack for float
+			// rounding.
+			diff := int64(back) - int64(q)
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 4 {
+				t.Fatalf("mhz=%v cycle %d → wall %d → cycle %d (diff %d)", mhz, q, w, back, diff)
+			}
+		}
+
+		// Interpolated wall times must be monotone in cycles.
+		prev := cm.WallNS(0)
+		for q := uint64(1); q <= cycle; q += 97 {
+			w := cm.WallNS(q)
+			if w < prev {
+				t.Fatalf("mhz=%v wall went backwards at cycle %d: %d < %d", mhz, q, w, prev)
+			}
+			prev = w
+		}
+	}
+}
+
+// TestClockMapExtrapolation checks that queries outside the sync
+// range run at the simulated rate from the nearest anchor, and that
+// an empty map degenerates to pure simulated time.
+func TestClockMapExtrapolation(t *testing.T) {
+	cm := NewClockMap(16) // 16 MHz ⇒ 62.5 ns/cycle
+	if got := cm.WallNS(1600); got != 100_000 {
+		t.Fatalf("empty map: WallNS(1600) = %d, want 100000", got)
+	}
+	cm.Sync(10_000, 1_000_000)
+	cm.Sync(20_000, 2_000_000)
+	// 1600 cycles past the last sync at 62.5 ns/cycle = 100 µs.
+	if got := cm.WallNS(21_600); got != 2_100_000 {
+		t.Fatalf("forward extrapolation: got %d, want 2100000", got)
+	}
+	// 1600 cycles before the first sync.
+	if got := cm.WallNS(8_400); got != 900_000 {
+		t.Fatalf("backward extrapolation: got %d, want 900000", got)
+	}
+	// CycleAt beyond the last sync.
+	if got := cm.CycleAt(2_100_000); got != 21_600 {
+		t.Fatalf("CycleAt forward: got %d, want 21600", got)
+	}
+	// CycleAt before cycle zero clamps at 0.
+	cm2 := NewClockMap(16)
+	cm2.Sync(100, 1_000_000)
+	if got := cm2.CycleAt(0); got != 0 {
+		t.Fatalf("CycleAt clamp: got %d, want 0", got)
+	}
+}
+
+// TestClockMapRestart simulates a VM restart: the cycle counter
+// resets to near zero while wall time keeps advancing. The map must
+// re-anchor on the new epoch and keep the wall axis monotonic.
+func TestClockMapRestart(t *testing.T) {
+	cm := NewClockMap(16)
+	cm.Sync(1_000_000, 10_000_000)
+	cm.Sync(2_000_000, 20_000_000)
+	before := cm.WallNS(2_000_000)
+
+	// Restart: cycles drop to 4096, wall keeps going.
+	cm.Sync(4096, 25_000_000)
+	cm.Sync(8192, 26_000_000)
+	if cm.Syncs() != 2 {
+		t.Fatalf("old epoch not dropped: %d syncs", cm.Syncs())
+	}
+	after := cm.WallNS(4096)
+	if after < before {
+		t.Fatalf("wall axis ran backwards across restart: %d < %d", after, before)
+	}
+	if got := cm.WallNS(6144); got != 25_500_000 {
+		t.Fatalf("post-restart interpolation: got %d, want 25500000", got)
+	}
+
+	// A wall reading that itself runs backwards is clamped.
+	cm.Sync(12_288, 25_900_000)
+	if got := cm.WallNS(12_288); got < 26_000_000 {
+		t.Fatalf("wall clamp failed: got %d, want >= 26000000", got)
+	}
+}
+
+// TestClockMapOverflow anchors sync points near the top of the uint64
+// cycle range and checks interpolation and extrapolation stay exact —
+// the delta arithmetic must not overflow or lose the anchor.
+func TestClockMapOverflow(t *testing.T) {
+	top := uint64(math.MaxUint64)
+	cm := NewClockMap(1000) // 1 ns/cycle: deltas map 1:1 to ns
+	cm.Sync(top-20_000, 1_000_000)
+	cm.Sync(top-10_000, 1_020_000)
+	if got := cm.WallNS(top - 15_000); got != 1_010_000 {
+		t.Fatalf("interpolation near top: got %d, want 1010000", got)
+	}
+	// Extrapolate right up to the counter limit.
+	if got := cm.WallNS(top); got != 1_030_000 {
+		t.Fatalf("extrapolation to MaxUint64: got %d, want 1030000", got)
+	}
+	if got := cm.CycleAt(1_030_000); got != top {
+		t.Fatalf("CycleAt at top: got %d, want %d", got, top)
+	}
+	// A wrap (cycle below the last sync) re-anchors as a new epoch
+	// rather than producing a huge bogus delta.
+	cm.Sync(100, 1_040_000)
+	if got := cm.WallNS(100); got != 1_040_000 {
+		t.Fatalf("post-wrap anchor: got %d, want 1040000", got)
+	}
+	if got := cm.WallNS(1100); got != 1_041_000 {
+		t.Fatalf("post-wrap extrapolation: got %d, want 1041000", got)
+	}
+}
+
+// TestClockMapSyncCap checks the bounded ring keeps the most recent
+// points.
+func TestClockMapSyncCap(t *testing.T) {
+	cm := NewClockMap(16)
+	cm.cap = 8
+	for i := 0; i < 100; i++ {
+		cm.Sync(uint64(i)*1000, int64(i)*100_000)
+	}
+	if cm.Syncs() != 8 {
+		t.Fatalf("cap not enforced: %d syncs", cm.Syncs())
+	}
+	// Recent range still interpolates exactly.
+	if got := cm.WallNS(98_500); got != 9_850_000 {
+		t.Fatalf("recent interpolation after cap: got %d, want 9850000", got)
+	}
+}

@@ -49,6 +49,17 @@ type Profiler struct {
 	// registry when both planes are on (PublishTo). Nil handles are
 	// no-ops, so an unpublished profiler pays only a nil check.
 	mIRQ [8]*metrics.Hist
+
+	// OnIRQ, when set, observes every interrupt dispatch (level,
+	// vector, raise and entry cycle). The fleet trace plane uses it to
+	// stamp a sampled request's IRQ-entry hop. Nil — the default —
+	// costs one nil check per interrupt.
+	OnIRQ func(level, vec int, raisedAt, takenAt uint64)
+	// OnRegionEnter, when set, observes every transition into a named
+	// region (pseudo-regions and (idle) excluded) with the cycle the
+	// region's first step began. Called only when the executing region
+	// changes, never per step.
+	OnRegionEnter func(name string, at uint64)
 }
 
 // Enable attaches a new profiler to the machine and returns it.
@@ -129,6 +140,9 @@ func (p *Profiler) StepDone(pc uint32, cycles, instrs uint64, idle bool) {
 		}
 		p.cur = id
 		p.curStart = stepStart
+		if p.OnRegionEnter != nil && id > idIdle {
+			p.OnRegionEnter(p.regions[id].Name, stepStart)
+		}
 	}
 }
 
@@ -154,6 +168,9 @@ func (p *Profiler) InterruptTaken(level, vec int, raisedAt, takenAt uint64) {
 	p.irq[level].Add(lat)
 	p.mIRQ[level].Observe(lat)
 	p.ring.Push(Event{Name: fmt.Sprintf("irq l%d", level), Ph: 'i', At: takenAt})
+	if p.OnIRQ != nil {
+		p.OnIRQ(level, vec, raisedAt, takenAt)
+	}
 }
 
 // Charged implements m68k.Probe: host-side cycle charges landing

@@ -65,7 +65,7 @@ bench-json:
 	$(GO) run ./cmd/synbench -json bench/out -runs 3
 
 benchdiff:
-	$(GO) run ./cmd/benchdiff -noise 2 -warn-tables cluster,recovery,rtt bench/baseline bench/out
+	$(GO) run ./cmd/benchdiff -noise 2 -warn-tables cluster,recovery,rtt,mips bench/baseline bench/out
 
 bench-baseline:
 	$(GO) run ./cmd/synbench -json bench/baseline -runs 3

@@ -472,10 +472,10 @@ func (b *Builder) Fmul(src m68k.Operand, fp uint8) *Builder {
 // (Figure 3: "a jmp instruction in each context-switch-out procedure
 // points to the context-switch-in procedure of the following thread").
 func PatchJmp(m *m68k.Machine, addr, target uint32) {
-	m.Code[addr] = m68k.Instr{Op: m68k.JMP, Dst: m68k.Abs(target)}
+	m.PatchCode(addr, m68k.Instr{Op: m68k.JMP, Dst: m68k.Abs(target)})
 }
 
 // PatchJsr rewrites the instruction at addr to jsr target.
 func PatchJsr(m *m68k.Machine, addr, target uint32) {
-	m.Code[addr] = m68k.Instr{Op: m68k.JSR, Dst: m68k.Abs(target)}
+	m.PatchCode(addr, m68k.Instr{Op: m68k.JSR, Dst: m68k.Abs(target)})
 }

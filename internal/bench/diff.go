@@ -20,7 +20,7 @@ import (
 // everything else (usec, instr, bytes, counts) improves downward.
 func higherIsBetter(unit string) bool {
 	switch unit {
-	case "fr/s", "x":
+	case "fr/s", "x", "mips":
 		return true
 	}
 	return false

@@ -9,7 +9,7 @@ import (
 )
 
 func TestNamesOrdering(t *testing.T) {
-	want := []string{"1", "2", "3", "4", "5", "6", "7", "ablations", "cluster", "pathlen", "proc", "recovery", "rtt", "size"}
+	want := []string{"1", "2", "3", "4", "5", "6", "7", "ablations", "cluster", "mips", "pathlen", "proc", "recovery", "rtt", "size"}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
 	}

@@ -44,7 +44,7 @@ func TestRunProfiledUnknown(t *testing.T) {
 // (synbench, quamon, the benchmark suite) rely on.
 func TestRegistry(t *testing.T) {
 	names := Names()
-	want := []string{"1", "2", "3", "4", "5", "6", "7", "ablations", "cluster", "pathlen", "proc", "recovery", "rtt", "size"}
+	want := []string{"1", "2", "3", "4", "5", "6", "7", "ablations", "cluster", "mips", "pathlen", "proc", "recovery", "rtt", "size"}
 	if len(names) != len(want) {
 		t.Fatalf("Names() = %v, want %v", names, want)
 	}

@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"synthesis/internal/asmkit"
+	"synthesis/internal/cluster"
+	"synthesis/internal/m68k"
+)
+
+// Table 11: wall-clock MIPS — how fast the host actually executes
+// guest instructions, as opposed to the simulated cycle clock every
+// other table is denominated in. Not a paper table: the paper ran on
+// silicon, where this number WAS the clock; here it is the hosting
+// cost that bounds soak runs, fleet scale, and live monitoring, and
+// it is the number the threaded-code dispatcher (docs/PERFORMANCE.md)
+// exists to move.
+//
+// Rows: each Table 1 workload run on the Synthesis rig (guest
+// instructions retired per wall second), a raw step-loop mix with the
+// measurement plane off (the interpreter's floor, in ns per guest
+// instruction), the speedup of that floor over the committed
+// pre-dispatch measurement, and a 2-VM fleet row (aggregate guest
+// MIPS while serving echo traffic).
+//
+// Wall-clock rates are nondeterministic by design: run via RunN for a
+// median and gated warn-only (-warn-tables in the Makefile), like
+// Tables 8-10. Invoked as `synbench -table mips` (canonical) or
+// `-table 11`; the artifact is BENCH_mips.json either way.
+
+func init() {
+	Register("mips", table11)
+	RegisterAlias("11", "mips")
+}
+
+// preDispatchNsPerInstr is the committed pre-change measurement of
+// the interpreter's host-side cost: BenchmarkStepLoop on the switch
+// interpreter at commit b5e4f6b (Intel Xeon @ 2.70GHz host), before
+// the threaded-code dispatcher landed. The "dispatch speedup" row
+// divides this by the measured floor so the dispatcher's win is
+// itself regression-tracked: if translation-cache hit rates collapse,
+// the speedup row collapses with them.
+const preDispatchNsPerInstr = 31.64
+
+const t11FleetWindow = 200 * time.Millisecond
+
+func table11(cfg RunConfig) (Table, error) {
+	iters := cfg.Iters
+	if iters <= 0 {
+		iters = 200
+	}
+	t := Table{
+		Title: "Table 11. Wall-clock MIPS: host-side guest instruction throughput",
+		Note: "guest instructions retired per wall second (simulated cycle clock is\n" +
+			"unaffected by host speed; see docs/PERFORMANCE.md); warn-only in CI (wall-clock)",
+	}
+
+	// The seven Table 1 workloads on the Synthesis rig: full kernel,
+	// measurement plane as Table 1 runs it (trace ring on), so this is
+	// the hosting cost of the numbers Table 1 reports.
+	for _, p := range table1Programs(iters) {
+		mips, err := t11Workload(p)
+		if err != nil {
+			return Table{}, fmt.Errorf("table 11 %s: %w", p.name, err)
+		}
+		t.Rows = append(t.Rows, Row{
+			Name:     p.name,
+			Measured: mips,
+			Unit:     "mips",
+			Note:     "synthesis rig, trace ring on",
+		})
+	}
+
+	// The interpreter floor: a bare machine (no devices, no trace, no
+	// probe) running the dispatcher benchmark mix. This is the number
+	// the pre-dispatch measurement is recorded in.
+	floor, err := t11Floor()
+	if err != nil {
+		return Table{}, err
+	}
+	t.Rows = append(t.Rows,
+		Row{
+			Name:     "step loop floor",
+			Measured: floor,
+			Unit:     "ns",
+			Note:     "host ns per guest instruction, bare machine, mixed ALU/mem/branch loop",
+		},
+		Row{
+			Name:     "dispatch speedup vs pre-dispatch",
+			Measured: preDispatchNsPerInstr / floor,
+			Unit:     "x",
+			Note: fmt.Sprintf("committed pre-dispatch floor %.2f ns/instr (switch interpreter, commit b5e4f6b)",
+				preDispatchNsPerInstr),
+		})
+
+	// Fleet row: aggregate guest MIPS across a 2-VM cluster serving
+	// echo traffic — dispatch, devices, IRQs, fabric and scheduler all
+	// in the loop.
+	fleet, err := t11Fleet()
+	if err != nil {
+		return Table{}, err
+	}
+	t.Rows = append(t.Rows, Row{
+		Name:     "fleet 2 vm x 64 conns aggregate",
+		Measured: fleet,
+		Unit:     "mips",
+		Note:     fmt.Sprintf("%v echo window, all-VM guest instruction delta", t11FleetWindow),
+	})
+	return t, nil
+}
+
+// t11Workload runs one Table 1 program on a fresh Synthesis rig and
+// returns guest MIPS: instructions retired over wall time, boot and
+// synthesis included (that is the hosting cost a soak run pays).
+func t11Workload(p t1prog) (float64, error) {
+	rig := NewSynthRig()
+	b := asmkit.New()
+	p.build(b)
+	entry := b.Link(rig.Machine())
+	i0 := rig.Machine().Instrs
+	t0 := time.Now()
+	if err := rig.Run(entry, p.budget); err != nil {
+		return 0, err
+	}
+	wall := time.Since(t0)
+	instrs := rig.Machine().Instrs - i0
+	return float64(instrs) / wall.Seconds() / 1e6, nil
+}
+
+// t11Floor measures the bare step loop (same mix as the committed
+// BenchmarkStepLoop) and returns host nanoseconds per instruction.
+func t11Floor() (float64, error) {
+	m := m68k.New(m68k.Config{})
+	entry := m68k.EmitBenchProgram(m)
+	// Warm the translation cache, then measure repeated runs.
+	m.PC = entry
+	if err := m.Run(1 << 40); err != m68k.ErrHalted {
+		return 0, err
+	}
+	var instrs uint64
+	t0 := time.Now()
+	for time.Since(t0) < 100*time.Millisecond {
+		m.ClearHalt()
+		m.PC = entry
+		i0 := m.Instrs
+		if err := m.Run(1 << 40); err != m68k.ErrHalted {
+			return 0, err
+		}
+		instrs += m.Instrs - i0
+	}
+	wall := time.Since(t0)
+	if instrs == 0 {
+		return 0, fmt.Errorf("table 11: floor loop retired no instructions")
+	}
+	return float64(wall.Nanoseconds()) / float64(instrs), nil
+}
+
+// t11Fleet boots the Table 9 fleet shape (no faults) and returns
+// aggregate guest MIPS over a steady-state echo window.
+func t11Fleet() (float64, error) {
+	c := cluster.New(cluster.Config{
+		VMs:          2,
+		SocketsPerVM: 8,
+		Conns:        64,
+		PayloadBytes: 64,
+		Seed:         1,
+	})
+	c.Start()
+	defer c.Stop()
+	deadline := time.Now().Add(15 * time.Second)
+	for c.ActiveConns() < 64 && time.Now().Before(deadline) {
+		if err := c.Err(); err != nil {
+			return 0, err
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if c.ActiveConns() < 64 {
+		return 0, fmt.Errorf("table 11 fleet: only %d/64 connections came live", c.ActiveConns())
+	}
+	i0 := c.GuestInstrs()
+	t0 := time.Now()
+	time.Sleep(t11FleetWindow)
+	instrs := c.GuestInstrs() - i0
+	wall := time.Since(t0)
+	if err := c.Err(); err != nil {
+		return 0, err
+	}
+	return float64(instrs) / wall.Seconds() / 1e6, nil
+}

@@ -1,25 +1,3 @@
-// Package cluster is the fleet harness: N Quamachines, each running
-// its own Synthesis kernel with synthesized per-socket I/O paths,
-// bridged by a Go switch fabric and driven by a host-side load
-// generator standing in for thousands of remote users.
-//
-// The fabric extends the 12-byte wire format upward instead of
-// changing it: a cluster address packs a node id into the high byte
-// of the 32-bit port word (net.MakeAddr), the fabric routes on that
-// byte, and pops it before a frame enters a VM — so the synthesized
-// receive handler's compare-immediate demux chains, the per-socket
-// send routines, and the NIC device are all byte-identical to the
-// single-machine configuration. Scale composes around the synthesized
-// code, never through it.
-//
-// Topology: star. Node 0 is the host (the load generator); VM nodes
-// are 1-based. Each VM runs one goroutine alternating between
-// draining its fabric ingress ring into the NIC (paced by the ring's
-// RxPending, so device backpressure is honored, not bypassed) and
-// executing a bounded cycle chunk. Egress rides the NIC's Tx hook:
-// the fabric's verdict lands in NetRegTxStat, so the synthesized
-// send's bounded retry/backoff sees fabric congestion exactly as it
-// sees a full loopback ring.
 package cluster
 
 import (
@@ -608,6 +586,19 @@ func (c *Cluster) ActiveConns() int { return int(c.nActive.Load()) }
 
 // VMs returns the fleet members (host view, for tests).
 func (c *Cluster) VMs() []*VM { return c.vms }
+
+// GuestInstrs returns the total guest instructions executed across
+// the fleet so far. A delta over a wall-clock window gives aggregate
+// fleet MIPS (Table 11).
+func (c *Cluster) GuestInstrs() uint64 {
+	var n uint64
+	for _, vm := range c.vms {
+		vm.mu.Lock()
+		n += vm.K.M.Instrs
+		vm.mu.Unlock()
+	}
+	return n
+}
 
 // AwaitingRecovery reports how many connections a heal event marked
 // that have not yet completed their first post-heal round trip. Zero

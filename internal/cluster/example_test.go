@@ -1,0 +1,37 @@
+package cluster_test
+
+import (
+	"fmt"
+	"time"
+
+	"synthesis/internal/cluster"
+)
+
+// Example boots the smallest interesting fleet — two Quamachines on
+// the switch fabric with eight logical echo connections multiplexed
+// over their socket tables — waits for every connection's first
+// round trip, and shuts down. Rates and RTTs are wall-clock (see
+// docs/PERFORMANCE.md), so the example asserts liveness, not speed.
+func Example() {
+	c := cluster.New(cluster.Config{
+		VMs:          2,
+		SocketsPerVM: 4,
+		Conns:        8,
+		PayloadBytes: 32,
+		Seed:         1,
+	})
+	c.Start()
+	defer c.Stop()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for c.ActiveConns() < 8 && time.Now().Before(deadline) {
+		if err := c.Err(); err != nil {
+			fmt.Println(err)
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Println("all connections live:", c.ActiveConns() == 8)
+	// Output:
+	// all connections live: true
+}

@@ -403,7 +403,7 @@ func (k *Kernel) registerServices() {
 		k.PanicMsg = fmt.Sprintf("unhandled exception, D0=%#x PC=%d cur=%#x",
 			mm.D[0], mm.PC, k.CurTTE())
 		k.mPanics.Inc()
-		mm.Code[mm.PC] = m68k.Instr{Op: m68k.HALT} // stop right here
+		mm.PatchCode(mm.PC, m68k.Instr{Op: m68k.HALT}) // stop right here
 		return 0
 	})
 	m.RegisterService(SvcMark, func(mm *m68k.Machine) uint64 {

@@ -1,0 +1,949 @@
+package m68k
+
+// Threaded-code dispatch: the Synthesis trick applied to the machine
+// that hosts Synthesis. Instead of re-decoding every instruction on
+// every step — one big opcode switch plus an addressing-mode switch
+// per operand — each code-space slot is translated ONCE, on first
+// fetch, into a chain of Go closures with the decode decisions baked
+// in: the register numbers, immediates, operand sizes, masks and base
+// cycle cost are captured at translate time, and execution thereafter
+// is one indirect call per instruction. The translation is cached per
+// PC in Machine.xcache and invalidated by any write into code space
+// (SetCode / PatchCode), so self-modifying synthesized code — the
+// kernel's bread and butter — observes new instructions on the very
+// next fetch, exactly as the switch interpreter did.
+//
+// Granularity is deliberately one instruction, not one basic block:
+// the machine checks devices and pending interrupts between every two
+// instructions, and the kernel's preemption-window story (DESIGN.md
+// §3a) depends on every instruction boundary being an interrupt
+// point. A block-chained dispatcher would have to re-insert those
+// checks at every step anyway, so per-PC handlers lose nothing.
+//
+// Invariant: cycle accounting, flag results, fault ordering and
+// side-effect ordering are bit-identical to the reference switch in
+// exec.go. Every specialized handler replicates its exec.go case's
+// memory-access order and flag call; ops off the hot path fall back
+// to exec.go itself (cSlow), which remains the reference
+// implementation. `benchdiff` against bench/baseline enforces the
+// invariant: every deterministic row must stay at +0.0%.
+
+// EmitBenchProgram emits the canonical dispatcher benchmark: a
+// representative mix of register ALU, memory read-modify-write,
+// compare/branch, and a DBRA loop — the shape of the synthesized
+// kernel paths whose host-side cost bounds every wall-clock number
+// above the VM. BenchmarkStepLoop and Table 11's "step loop floor"
+// row both run exactly this program, so the committed pre-dispatch
+// ns/instr measurement stays comparable.
+func EmitBenchProgram(m *Machine) uint32 {
+	return m.Emit([]Instr{
+		{Op: MOVE, Src: Imm(1000), Dst: D(0)},                              // 0: loop counter
+		{Op: MOVE, Src: Imm(0x9000), Dst: Operand{Mode: ModeAReg, Reg: 0}}, // 1
+		{Op: ADD, Src: Imm(1), Dst: Ind(0)},                                // 2: memory RMW
+		{Op: MOVE, Src: Ind(0), Dst: D(1)},                                 // 3: load
+		{Op: ADD, Src: D(1), Dst: D(2)},                                    // 4: reg ALU
+		{Op: CMP, Src: Imm(0), Dst: D(2)},                                  // 5
+		{Op: BEQ, Dst: Abs(2)},                                             // 6: never taken
+		{Op: DBRA, Src: D(0), Dst: Abs(2)},                                 // 7: loop
+		{Op: HALT},                                                         // 8
+	})
+}
+
+// xent is one translation cache line: the compiled handler, the
+// precomputed base cycle cost (baseCost is pure in the instruction),
+// and the opcode (the step loop's trace-bit handling needs to know
+// RTE without re-reading code space). A zero xent is cold.
+type xent struct {
+	run  runFn
+	cost uint64
+	op   Op
+}
+
+// runFn executes one translated instruction. It runs with PC already
+// advanced past the instruction (as exec.go does) and returns the
+// same errors exec would: a *BusFault to vector through the bus-error
+// exception, or a terminal simulation error.
+type runFn func(m *Machine) error
+
+// readFn/writeFn/eaFn are compiled operand accessors.
+type (
+	readFn  func(m *Machine) (uint32, error)
+	writeFn func(m *Machine, v uint32) error
+	eaFn    func(m *Machine) (uint32, error)
+)
+
+// translate fills the cache line for pc from the instruction
+// currently installed there.
+func (m *Machine) translate(pc uint32, e *xent) {
+	in := &m.Code[pc]
+	e.cost = baseCost(in)
+	e.op = in.Op
+	e.run = compile(in, pc)
+}
+
+// maskFor returns the value mask and sign-bit mask for an operand
+// size, letting one flag helper serve all sizes without a per-call
+// size switch.
+func maskFor(sz uint8) (mask, sign uint32) {
+	switch sz {
+	case 1:
+		return 0xff, 0x80
+	case 2:
+		return 0xffff, 0x8000
+	default:
+		return 0xffff_ffff, 0x8000_0000
+	}
+}
+
+// setNZMask is setNZ with the size switch folded into masks.
+func (m *Machine) setNZMask(v, mask, sign uint32) {
+	m.SR &^= FlagN | FlagZ | FlagV | FlagC
+	if v&mask == 0 {
+		m.SR |= FlagZ
+	}
+	if v&sign != 0 {
+		m.SR |= FlagN
+	}
+}
+
+// setAddFlagsMask is setAddFlags with the size switch folded into
+// masks: identical SR results for every input.
+func (m *Machine) setAddFlagsMask(a, b, r, mask, sign uint32) {
+	m.SR &^= FlagN | FlagZ | FlagV | FlagC | FlagX
+	a, b, r = a&mask, b&mask, r&mask
+	if r == 0 {
+		m.SR |= FlagZ
+	}
+	if r&sign != 0 {
+		m.SR |= FlagN
+	}
+	if (a^b)&sign == 0 && (r^a)&sign != 0 {
+		m.SR |= FlagV
+	}
+	if r < a {
+		m.SR |= FlagC | FlagX
+	}
+}
+
+// setSubFlagsMask is setSubFlags with the size switch folded into
+// masks.
+func (m *Machine) setSubFlagsMask(a, b, r, mask, sign uint32) {
+	m.SR &^= FlagN | FlagZ | FlagV | FlagC | FlagX
+	a, b, r = a&mask, b&mask, r&mask
+	if r == 0 {
+		m.SR |= FlagZ
+	}
+	if r&sign != 0 {
+		m.SR |= FlagN
+	}
+	if (a^b)&sign != 0 && (r^b)&sign == 0 {
+		m.SR |= FlagV
+	}
+	if b > a {
+		m.SR |= FlagC | FlagX
+	}
+}
+
+// cEA compiles an effective-address computation, including the
+// post-increment/pre-decrement side effects, mirroring Machine.ea.
+func cEA(o Operand, sz uint8) eaFn {
+	switch o.Mode {
+	case ModeInd:
+		r := o.Reg
+		return func(m *Machine) (uint32, error) { return m.A[r], nil }
+	case ModePostInc:
+		r, d := o.Reg, uint32(sz)
+		return func(m *Machine) (uint32, error) {
+			a := m.A[r]
+			m.A[r] += d
+			return a, nil
+		}
+	case ModePreDec:
+		r, d := o.Reg, uint32(sz)
+		return func(m *Machine) (uint32, error) {
+			m.A[r] -= d
+			return m.A[r], nil
+		}
+	case ModeDisp:
+		r, d := o.Reg, uint32(o.Imm)
+		return func(m *Machine) (uint32, error) { return m.A[r] + d, nil }
+	case ModeIdx:
+		r, d := o.Reg, uint32(o.Imm)
+		scale := uint32(o.Scale)
+		if scale == 0 {
+			scale = 1
+		}
+		ir := o.Idx & 7
+		if o.Idx >= 8 {
+			return func(m *Machine) (uint32, error) { return m.A[r] + d + m.A[ir]*scale, nil }
+		}
+		return func(m *Machine) (uint32, error) { return m.A[r] + d + m.D[ir]*scale, nil }
+	case ModeAbs:
+		a := uint32(o.Imm)
+		return func(m *Machine) (uint32, error) { return a, nil }
+	}
+	return func(m *Machine) (uint32, error) {
+		return 0, &BusFault{Addr: 0xffff_ffff, PC: m.PC}
+	}
+}
+
+// cRead compiles an operand read, mirroring Machine.readOp.
+func cRead(o Operand, sz uint8) readFn {
+	switch o.Mode {
+	case ModeImm:
+		v := trunc(uint32(o.Imm), sz)
+		return func(*Machine) (uint32, error) { return v, nil }
+	case ModeDReg:
+		r := o.Reg
+		switch sz {
+		case 1:
+			return func(m *Machine) (uint32, error) { return m.D[r] & 0xff, nil }
+		case 2:
+			return func(m *Machine) (uint32, error) { return m.D[r] & 0xffff, nil }
+		default:
+			return func(m *Machine) (uint32, error) { return m.D[r], nil }
+		}
+	case ModeAReg:
+		r := o.Reg
+		return func(m *Machine) (uint32, error) { return m.A[r], nil }
+	case ModeInd:
+		r, s := o.Reg, sz
+		return func(m *Machine) (uint32, error) {
+			addr := m.A[r]
+			if err := m.checkUserAccess(addr); err != nil {
+				return 0, err
+			}
+			return m.Load(addr, s)
+		}
+	default:
+		ea := cEA(o, sz)
+		s := sz
+		return func(m *Machine) (uint32, error) {
+			addr, err := ea(m)
+			if err != nil {
+				return 0, err
+			}
+			if err := m.checkUserAccess(addr); err != nil {
+				return 0, err
+			}
+			return m.Load(addr, s)
+		}
+	}
+}
+
+// cWrite compiles an operand write, mirroring Machine.writeOp.
+func cWrite(o Operand, sz uint8) writeFn {
+	switch o.Mode {
+	case ModeDReg:
+		r := o.Reg
+		switch sz {
+		case 1:
+			return func(m *Machine, v uint32) error {
+				m.D[r] = m.D[r]&^0xff | v&0xff
+				return nil
+			}
+		case 2:
+			return func(m *Machine, v uint32) error {
+				m.D[r] = m.D[r]&^0xffff | v&0xffff
+				return nil
+			}
+		default:
+			return func(m *Machine, v uint32) error {
+				m.D[r] = v
+				return nil
+			}
+		}
+	case ModeAReg:
+		r := o.Reg
+		return func(m *Machine, v uint32) error {
+			m.A[r] = v
+			return nil
+		}
+	case ModeImm:
+		return func(m *Machine, v uint32) error {
+			return &BusFault{Addr: 0xffff_fffe, PC: m.PC}
+		}
+	case ModeInd:
+		r, s := o.Reg, sz
+		return func(m *Machine, v uint32) error {
+			addr := m.A[r]
+			if err := m.checkUserAccess(addr); err != nil {
+				return err
+			}
+			return m.Store(addr, s, v)
+		}
+	default:
+		ea := cEA(o, sz)
+		s := sz
+		return func(m *Machine, v uint32) error {
+			addr, err := ea(m)
+			if err != nil {
+				return err
+			}
+			if err := m.checkUserAccess(addr); err != nil {
+				return err
+			}
+			return m.Store(addr, s, v)
+		}
+	}
+}
+
+// cCond compiles a branch condition, mirroring Machine.condition.
+func cCond(op Op) func(m *Machine) bool {
+	switch op {
+	case BEQ:
+		return func(m *Machine) bool { return m.SR&FlagZ != 0 }
+	case BNE:
+		return func(m *Machine) bool { return m.SR&FlagZ == 0 }
+	case BLT:
+		return func(m *Machine) bool { return (m.SR&FlagN != 0) != (m.SR&FlagV != 0) }
+	case BLE:
+		return func(m *Machine) bool {
+			return m.SR&FlagZ != 0 || (m.SR&FlagN != 0) != (m.SR&FlagV != 0)
+		}
+	case BGT:
+		return func(m *Machine) bool {
+			return m.SR&FlagZ == 0 && (m.SR&FlagN != 0) == (m.SR&FlagV != 0)
+		}
+	case BGE:
+		return func(m *Machine) bool { return (m.SR&FlagN != 0) == (m.SR&FlagV != 0) }
+	case BHI:
+		return func(m *Machine) bool { return m.SR&(FlagC|FlagZ) == 0 }
+	case BLS:
+		return func(m *Machine) bool { return m.SR&(FlagC|FlagZ) != 0 }
+	case BCC:
+		return func(m *Machine) bool { return m.SR&FlagC == 0 }
+	case BCS:
+		return func(m *Machine) bool { return m.SR&FlagC != 0 }
+	case BMI:
+		return func(m *Machine) bool { return m.SR&FlagN != 0 }
+	case BPL:
+		return func(m *Machine) bool { return m.SR&FlagN == 0 }
+	}
+	return func(*Machine) bool { return false }
+}
+
+// cJumpTarget compiles a JMP/JSR target resolution, mirroring
+// Machine.jumpTarget.
+func cJumpTarget(o Operand) readFn {
+	switch o.Mode {
+	case ModeAbs, ModeImm:
+		t := uint32(o.Imm)
+		return func(*Machine) (uint32, error) { return t, nil }
+	case ModeAReg, ModeInd:
+		r := o.Reg
+		return func(m *Machine) (uint32, error) { return m.A[r], nil }
+	case ModeDReg:
+		r := o.Reg
+		return func(m *Machine) (uint32, error) { return m.D[r], nil }
+	case ModeDisp:
+		r, d := o.Reg, uint32(o.Imm)
+		return func(m *Machine) (uint32, error) { return m.A[r] + d, nil }
+	default:
+		// Indirect through memory: the executable-data-structure ready
+		// queue jumps through addresses stored in TTEs.
+		ea := cEA(o, 4)
+		return func(m *Machine) (uint32, error) {
+			addr, err := ea(m)
+			if err != nil {
+				return 0, err
+			}
+			return m.Load(addr, 4)
+		}
+	}
+}
+
+// cSlow defers to the reference switch interpreter, re-reading the
+// instruction from code space at run time (never a cached pointer:
+// AllocCode may have reallocated the backing array since translate).
+// Used for ops off the hot path, where specialization buys nothing
+// and the duplicated logic would be pure risk.
+func cSlow(pc uint32) runFn {
+	return func(m *Machine) error { return m.exec(&m.Code[pc]) }
+}
+
+// cRMW compiles the generic read-modify-write fallback over a copied
+// operand (exactly Machine.rmw, including the address-register case),
+// for specialized handlers whose destination is not a data register.
+func cRMW(o Operand, sz uint8) func(m *Machine, f func(uint32) uint32) (old, nw uint32, err error) {
+	dst := o
+	return func(m *Machine, f func(uint32) uint32) (uint32, uint32, error) {
+		return m.rmw(&dst, sz, f)
+	}
+}
+
+// compile translates one instruction into its handler. The handler
+// captures only values (never pointers into m.Code), so a cached
+// translation is correct until its cache line is invalidated.
+func compile(in *Instr, pc uint32) runFn {
+	sz := in.Size()
+	mask, sign := maskFor(sz)
+	switch in.Op {
+	case NOP:
+		return func(*Machine) error { return nil }
+
+	case MOVE:
+		rd := cRead(in.Src, sz)
+		if in.Dst.Mode == ModeAReg {
+			r := in.Dst.Reg
+			return func(m *Machine) error {
+				v, err := rd(m)
+				if err != nil {
+					return err
+				}
+				m.A[r] = v
+				return nil
+			}
+		}
+		wr := cWrite(in.Dst, sz)
+		return func(m *Machine) error {
+			v, err := rd(m)
+			if err != nil {
+				return err
+			}
+			if err := wr(m, v); err != nil {
+				return err
+			}
+			m.setNZMask(v, mask, sign)
+			return nil
+		}
+
+	case LEA:
+		ea := cEA(in.Src, sz)
+		r := in.Dst.Reg
+		return func(m *Machine) error {
+			addr, err := ea(m)
+			if err != nil {
+				return err
+			}
+			m.A[r] = addr
+			return nil
+		}
+
+	case PEA:
+		ea := cEA(in.Src, sz)
+		return func(m *Machine) error {
+			addr, err := ea(m)
+			if err != nil {
+				return err
+			}
+			return m.push(addr)
+		}
+
+	case CLR:
+		wr := cWrite(in.Dst, sz)
+		return func(m *Machine) error {
+			if err := wr(m, 0); err != nil {
+				return err
+			}
+			m.SR = m.SR&^(FlagN|FlagZ|FlagV|FlagC) | FlagZ
+			return nil
+		}
+
+	case ADD, SUB:
+		rd := cRead(in.Src, sz)
+		sub := in.Op == SUB
+		switch in.Dst.Mode {
+		case ModeDReg:
+			r := in.Dst.Reg
+			return func(m *Machine) error {
+				s, err := rd(m)
+				if err != nil {
+					return err
+				}
+				old := m.D[r] & mask
+				var nw uint32
+				if sub {
+					nw = old - s
+				} else {
+					nw = old + s
+				}
+				m.D[r] = m.D[r]&^mask | nw&mask
+				if sub {
+					m.setSubFlagsMask(old, s, nw, mask, sign)
+				} else {
+					m.setAddFlagsMask(old, s, nw, mask, sign)
+				}
+				return nil
+			}
+		case ModeAReg:
+			r := in.Dst.Reg
+			return func(m *Machine) error {
+				s, err := rd(m)
+				if err != nil {
+					return err
+				}
+				if sub {
+					m.A[r] -= s
+				} else {
+					m.A[r] += s
+				}
+				return nil
+			}
+		case ModeInd:
+			r, s8 := in.Dst.Reg, sz
+			return func(m *Machine) error {
+				s, err := rd(m)
+				if err != nil {
+					return err
+				}
+				addr := m.A[r]
+				if err := m.checkUserAccess(addr); err != nil {
+					return err
+				}
+				old, err := m.Load(addr, s8)
+				if err != nil {
+					return err
+				}
+				var nw uint32
+				if sub {
+					nw = old - s
+				} else {
+					nw = old + s
+				}
+				if err := m.Store(addr, s8, nw); err != nil {
+					return err
+				}
+				if sub {
+					m.setSubFlagsMask(old, s, nw, mask, sign)
+				} else {
+					m.setAddFlagsMask(old, s, nw, mask, sign)
+				}
+				return nil
+			}
+		default:
+			ea := cEA(in.Dst, sz)
+			s8 := sz
+			return func(m *Machine) error {
+				s, err := rd(m)
+				if err != nil {
+					return err
+				}
+				addr, err := ea(m)
+				if err != nil {
+					return err
+				}
+				if err := m.checkUserAccess(addr); err != nil {
+					return err
+				}
+				old, err := m.Load(addr, s8)
+				if err != nil {
+					return err
+				}
+				var nw uint32
+				if sub {
+					nw = old - s
+				} else {
+					nw = old + s
+				}
+				if err := m.Store(addr, s8, nw); err != nil {
+					return err
+				}
+				if sub {
+					m.setSubFlagsMask(old, s, nw, mask, sign)
+				} else {
+					m.setAddFlagsMask(old, s, nw, mask, sign)
+				}
+				return nil
+			}
+		}
+
+	case MULU, DIVU:
+		rd := cRead(in.Src, sz)
+		div := in.Op == DIVU
+		if in.Dst.Mode == ModeDReg {
+			r := in.Dst.Reg
+			return func(m *Machine) error {
+				s, err := rd(m)
+				if err != nil {
+					return err
+				}
+				if div {
+					if s == 0 {
+						return m.Exception(VecZeroDivide)
+					}
+				}
+				old := m.D[r]
+				var nw uint32
+				if div {
+					nw = old / s
+				} else {
+					nw = old * s
+				}
+				m.D[r] = nw
+				m.setNZMask(nw, 0xffff_ffff, 0x8000_0000)
+				return nil
+			}
+		}
+		rmw := cRMW(in.Dst, 4)
+		return func(m *Machine) error {
+			s, err := rd(m)
+			if err != nil {
+				return err
+			}
+			if div && s == 0 {
+				return m.Exception(VecZeroDivide)
+			}
+			var f func(uint32) uint32
+			if div {
+				f = func(o uint32) uint32 { return o / s }
+			} else {
+				f = func(o uint32) uint32 { return o * s }
+			}
+			_, nw, err := rmw(m, f)
+			if err != nil {
+				return err
+			}
+			m.setNZ(nw, 4)
+			return nil
+		}
+
+	case AND, OR, EOR:
+		rd := cRead(in.Src, sz)
+		op := in.Op
+		if in.Dst.Mode == ModeDReg {
+			r := in.Dst.Reg
+			return func(m *Machine) error {
+				s, err := rd(m)
+				if err != nil {
+					return err
+				}
+				old := m.D[r] & mask
+				var nw uint32
+				switch op {
+				case AND:
+					nw = old & s
+				case OR:
+					nw = old | s
+				default:
+					nw = old ^ s
+				}
+				m.D[r] = m.D[r]&^mask | nw&mask
+				m.setNZMask(nw, mask, sign)
+				return nil
+			}
+		}
+		rmw := cRMW(in.Dst, sz)
+		return func(m *Machine) error {
+			s, err := rd(m)
+			if err != nil {
+				return err
+			}
+			_, nw, err := rmw(m, func(o uint32) uint32 {
+				switch op {
+				case AND:
+					return o & s
+				case OR:
+					return o | s
+				default:
+					return o ^ s
+				}
+			})
+			if err != nil {
+				return err
+			}
+			m.setNZMask(nw, mask, sign)
+			return nil
+		}
+
+	case NOT:
+		if in.Dst.Mode == ModeDReg {
+			r := in.Dst.Reg
+			return func(m *Machine) error {
+				nw := ^(m.D[r] & mask)
+				m.D[r] = m.D[r]&^mask | nw&mask
+				m.setNZMask(nw, mask, sign)
+				return nil
+			}
+		}
+		rmw := cRMW(in.Dst, sz)
+		return func(m *Machine) error {
+			_, nw, err := rmw(m, func(o uint32) uint32 { return ^o })
+			if err != nil {
+				return err
+			}
+			m.setNZMask(nw, mask, sign)
+			return nil
+		}
+
+	case NEG:
+		if in.Dst.Mode == ModeDReg {
+			r := in.Dst.Reg
+			return func(m *Machine) error {
+				old := m.D[r] & mask
+				nw := -old
+				m.D[r] = m.D[r]&^mask | nw&mask
+				m.setSubFlagsMask(0, old, nw, mask, sign)
+				return nil
+			}
+		}
+		rmw := cRMW(in.Dst, sz)
+		return func(m *Machine) error {
+			old, nw, err := rmw(m, func(o uint32) uint32 { return -o })
+			if err != nil {
+				return err
+			}
+			m.setSubFlagsMask(0, old, nw, mask, sign)
+			return nil
+		}
+
+	case EXT:
+		r := in.Dst.Reg
+		s8 := sz
+		return func(m *Machine) error {
+			v := m.D[r]
+			switch s8 {
+			case 1:
+				v = uint32(int32(int8(v)))
+			case 2:
+				v = uint32(int32(int16(v)))
+			}
+			m.D[r] = v
+			m.setNZMask(v, 0xffff_ffff, 0x8000_0000)
+			return nil
+		}
+
+	case LSL, LSR, ASR:
+		rd := cRead(in.Src, sz)
+		var sh func(o, s uint32) uint32
+		switch in.Op {
+		case LSL:
+			sh = func(o, s uint32) uint32 { return o << s }
+		case LSR:
+			sh = func(o, s uint32) uint32 { return (o & mask) >> s }
+		default: // ASR: arithmetic shift at the operand width
+			switch sz {
+			case 1:
+				sh = func(o, s uint32) uint32 { return uint32(int32(int8(o)) >> s) }
+			case 2:
+				sh = func(o, s uint32) uint32 { return uint32(int32(int16(o)) >> s) }
+			default:
+				sh = func(o, s uint32) uint32 { return uint32(int32(o) >> s) }
+			}
+		}
+		if in.Dst.Mode == ModeDReg {
+			r := in.Dst.Reg
+			return func(m *Machine) error {
+				s, err := rd(m)
+				if err != nil {
+					return err
+				}
+				s &= 63
+				m.Cycles += uint64(s) / 2 // shifts cost ~2 cycles per 4 bits
+				nw := sh(m.D[r]&mask, s)
+				m.D[r] = m.D[r]&^mask | nw&mask
+				m.setNZMask(nw, mask, sign)
+				return nil
+			}
+		}
+		rmw := cRMW(in.Dst, sz)
+		return func(m *Machine) error {
+			s, err := rd(m)
+			if err != nil {
+				return err
+			}
+			s &= 63
+			m.Cycles += uint64(s) / 2
+			_, nw, err := rmw(m, func(o uint32) uint32 { return sh(o, s) })
+			if err != nil {
+				return err
+			}
+			m.setNZMask(nw, mask, sign)
+			return nil
+		}
+
+	case CMP:
+		rs := cRead(in.Src, sz)
+		rdd := cRead(in.Dst, sz)
+		return func(m *Machine) error {
+			s, err := rs(m)
+			if err != nil {
+				return err
+			}
+			d, err := rdd(m)
+			if err != nil {
+				return err
+			}
+			m.setSubFlagsMask(d, s, d-s, mask, sign)
+			return nil
+		}
+
+	case TST:
+		rd := cRead(in.Src, sz)
+		return func(m *Machine) error {
+			v, err := rd(m)
+			if err != nil {
+				return err
+			}
+			m.setNZMask(v, mask, sign)
+			return nil
+		}
+
+	case BTST:
+		rd := cRead(in.Src, 4)
+		rdd := cRead(in.Dst, sz)
+		width := uint32(sz) * 8
+		return func(m *Machine) error {
+			bitn, err := rd(m)
+			if err != nil {
+				return err
+			}
+			bit := uint32(1) << (bitn % width)
+			v, err := rdd(m)
+			if err != nil {
+				return err
+			}
+			m.SR &^= FlagZ
+			if v&bit == 0 {
+				m.SR |= FlagZ
+			}
+			return nil
+		}
+
+	case BSET, BCLR:
+		rd := cRead(in.Src, 4)
+		rmw := cRMW(in.Dst, sz)
+		set := in.Op == BSET
+		width := uint32(sz) * 8
+		return func(m *Machine) error {
+			bitn, err := rd(m)
+			if err != nil {
+				return err
+			}
+			bit := uint32(1) << (bitn % width)
+			old, _, err := rmw(m, func(o uint32) uint32 {
+				if set {
+					return o | bit
+				}
+				return o &^ bit
+			})
+			if err != nil {
+				return err
+			}
+			m.SR &^= FlagZ
+			if old&bit == 0 {
+				m.SR |= FlagZ
+			}
+			return nil
+		}
+
+	case TAS:
+		rmw := cRMW(in.Dst, 1)
+		return func(m *Machine) error {
+			old, _, err := rmw(m, func(o uint32) uint32 { return o | 0x80 })
+			if err != nil {
+				return err
+			}
+			m.setNZMask(old, 0xff, 0x80)
+			return nil
+		}
+
+	case BRA:
+		tgt := uint32(in.Dst.Imm)
+		return func(m *Machine) error {
+			m.Cycles += cycBranchTak - cycReg
+			m.PC = tgt
+			return nil
+		}
+
+	case BEQ, BNE, BLT, BLE, BGT, BGE, BHI, BLS, BCC, BCS, BMI, BPL:
+		cond := cCond(in.Op)
+		tgt := uint32(in.Dst.Imm)
+		return func(m *Machine) error {
+			if cond(m) {
+				m.Cycles += cycBranchTak - cycReg
+				m.PC = tgt
+			} else {
+				m.Cycles += cycBranchNot - cycReg
+			}
+			return nil
+		}
+
+	case DBRA:
+		r := in.Src.Reg
+		tgt := uint32(in.Dst.Imm)
+		return func(m *Machine) error {
+			m.D[r]--
+			if m.D[r] != 0xffff_ffff {
+				m.Cycles += cycDBRATaken - cycReg
+				m.PC = tgt
+			} else {
+				m.Cycles += cycDBRAExit - cycReg
+			}
+			return nil
+		}
+
+	case JMP:
+		tf := cControlTarget(in)
+		return func(m *Machine) error {
+			t, err := tf(m)
+			if err != nil {
+				return err
+			}
+			m.PC = t
+			return nil
+		}
+
+	case JSR:
+		tf := cControlTarget(in)
+		return func(m *Machine) error {
+			t, err := tf(m)
+			if err != nil {
+				return err
+			}
+			if err := m.push(m.PC); err != nil {
+				return err
+			}
+			m.PC = t
+			return nil
+		}
+
+	case RTS:
+		return func(m *Machine) error {
+			pc, err := m.pop()
+			if err != nil {
+				return err
+			}
+			m.PC = pc
+			return nil
+		}
+
+	case HALT:
+		return func(m *Machine) error {
+			m.halted = true
+			return ErrHalted
+		}
+
+	case KCALL:
+		vec := in.Vec
+		return func(m *Machine) error {
+			s := m.services[vec]
+			if s == nil {
+				return m.Exception(VecIllegal)
+			}
+			m.Cycles += s(m)
+			return nil
+		}
+	}
+
+	// Everything else — exception returns, traps, supervisor state,
+	// block moves, FP, CAS — executes through the reference switch.
+	return cSlow(pc)
+}
+
+// cControlTarget compiles JMP/JSR target resolution, mirroring
+// Machine.controlTarget: a populated Src operand selects the 68020
+// memory-indirect form.
+func cControlTarget(in *Instr) readFn {
+	if in.Src.Mode != ModeNone {
+		ea := cEA(in.Src, 4)
+		return func(m *Machine) (uint32, error) {
+			addr, err := ea(m)
+			if err != nil {
+				return 0, err
+			}
+			return m.Load(addr, 4)
+		}
+	}
+	return cJumpTarget(in.Dst)
+}

@@ -1,0 +1,106 @@
+package m68k
+
+import "testing"
+
+// Self-modifying code is the kernel's normal mode of operation, so the
+// translation cache must never serve a stale handler: a write into
+// code space has to be visible on the very next fetch of that slot.
+// These tests drive the `instr` cell pattern from Table 1 — code that
+// patches an instruction it is about to execute — under both a cold
+// cache (slot never translated) and a warm one (stale translation
+// installed and hot).
+
+// patchService returns a KCALL service that overwrites code slot at
+// with a MOVE #v, D1 when invoked.
+func patchService(at uint32, v int32) Service {
+	return func(m *Machine) uint64 {
+		m.PatchCode(at, Instr{Op: MOVE, Src: Imm(v), Dst: D(1)})
+		return 0
+	}
+}
+
+// TestSelfModifyingCodeColdCache patches the next instruction before
+// it has ever executed (and therefore before it has ever been
+// translated): the patched form must run.
+func TestSelfModifyingCodeColdCache(t *testing.T) {
+	m := New(Config{})
+	entry := m.Emit([]Instr{
+		{Op: KCALL, Vec: 1}, // patches slot entry+1
+		{Op: MOVE, Src: Imm(111), Dst: D(1)}, // will be overwritten
+		{Op: HALT},
+	})
+	m.RegisterService(1, patchService(entry+1, 222))
+	m.PC = entry
+	if err := m.Run(1 << 20); err != ErrHalted {
+		t.Fatal(err)
+	}
+	if m.D[1] != 222 {
+		t.Fatalf("cold cache: executed stale instruction, D1=%d want 222", m.D[1])
+	}
+}
+
+// TestSelfModifyingCodeWarmCache runs a patch loop: each iteration
+// executes the target slot (heating its cache line), then patches it
+// and executes it again. Every fetch after a patch must see the new
+// instruction even though the previous translation was hot.
+func TestSelfModifyingCodeWarmCache(t *testing.T) {
+	m := New(Config{})
+	entry := m.Emit([]Instr{
+		{Op: MOVE, Src: Imm(0), Dst: D(1)}, // 0: the patch target
+		{Op: KCALL, Vec: 1},                // 1: patch slot 0 to load next value
+		{Op: ADD, Src: D(1), Dst: D(2)},    // 2: accumulate what slot 0 loaded
+		{Op: DBRA, Src: D(0), Dst: Abs(0)}, // 3: loop back through slot 0
+		{Op: HALT},                         // 4
+	})
+	next := int32(0)
+	m.RegisterService(1, func(mm *Machine) uint64 {
+		next++
+		mm.PatchCode(entry, Instr{Op: MOVE, Src: Imm(next), Dst: D(1)})
+		return 0
+	})
+	const rounds = 64
+	m.D[0] = rounds
+	m.D[2] = 0
+	m.PC = entry
+	if err := m.Run(1 << 30); err != ErrHalted {
+		t.Fatal(err)
+	}
+	// DBRA from rounds runs rounds+1 iterations. Iteration k executes
+	// slot 0 as MOVE #k-1 (patched by the previous iteration; the
+	// first sees the original #0), then patches it to #k, so the
+	// accumulator collects 0+1+...+rounds.
+	want := uint32(rounds * (rounds + 1) / 2)
+	if m.D[2] != want {
+		t.Fatalf("warm cache: accumulated %d, want %d (a stale translation executed)", m.D[2], want)
+	}
+	if next != rounds+1 {
+		t.Fatalf("patch service ran %d times, want %d", next, rounds+1)
+	}
+}
+
+// TestPatchHelpersInvalidate covers the asmkit-style patch entry
+// points: SetCode over an executed region must retranslate every
+// covered slot.
+func TestPatchHelpersInvalidate(t *testing.T) {
+	m := New(Config{})
+	entry := m.Emit([]Instr{
+		{Op: MOVE, Src: Imm(1), Dst: D(3)},
+		{Op: HALT},
+	})
+	run := func() {
+		m.ClearHalt()
+		m.PC = entry
+		if err := m.Run(1 << 20); err != ErrHalted {
+			t.Fatal(err)
+		}
+	}
+	run()
+	if m.D[3] != 1 {
+		t.Fatalf("D3=%d want 1", m.D[3])
+	}
+	m.SetCode(entry, []Instr{{Op: MOVE, Src: Imm(7), Dst: D(3)}})
+	run()
+	if m.D[3] != 7 {
+		t.Fatalf("after SetCode: D3=%d want 7 (stale translation)", m.D[3])
+	}
+}

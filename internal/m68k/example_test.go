@@ -1,0 +1,40 @@
+package m68k_test
+
+import (
+	"fmt"
+
+	"synthesis/internal/m68k"
+)
+
+// Example boots a bare Quamachine, runs a three-instruction program,
+// then patches an instruction in place and runs it again — the
+// smallest demonstration of the property the whole repository is
+// built on: code space is data, and the machine (including its
+// threaded-code translation cache) observes a patch on the very next
+// fetch.
+func Example() {
+	m := m68k.New(m68k.Config{})
+	entry := m.Emit([]m68k.Instr{
+		{Op: m68k.MOVE, Src: m68k.Imm(6), Dst: m68k.D(0)},
+		{Op: m68k.MULU, Src: m68k.Imm(7), Dst: m68k.D(0)},
+		{Op: m68k.HALT},
+	})
+	m.PC = entry
+	if err := m.Run(1 << 20); err != m68k.ErrHalted {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("D0=%d after %d instructions, %d cycles\n", m.D[0], m.Instrs, m.Cycles)
+
+	m.PatchCode(entry+1, m68k.Instr{Op: m68k.ADD, Src: m68k.Imm(100), Dst: m68k.D(0)})
+	m.ClearHalt()
+	m.PC = entry
+	if err := m.Run(1 << 20); err != m68k.ErrHalted {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("D0=%d after the patch\n", m.D[0])
+	// Output:
+	// D0=42 after 3 instructions, 33 cycles
+	// D0=106 after the patch
+}

@@ -30,13 +30,21 @@ func (m *Machine) step() error {
 	if m.halted {
 		return ErrHalted
 	}
-	m.pollDevices()
-	took, err := m.takeInterrupt()
-	if err != nil {
-		return err
+	// Device poll fast path: nextPoll is a conservative lower bound on
+	// the earliest pending device event (see tickDevice), so a single
+	// compare replaces the per-device scan on the vast majority of
+	// steps without ever missing a due tick.
+	if m.nextPoll != 0 && m.nextPoll <= m.Cycles {
+		m.pollDevices()
 	}
-	if took {
-		return nil
+	if m.pendIRQ != 0 {
+		took, err := m.takeInterrupt()
+		if err != nil {
+			return err
+		}
+		if took {
+			return nil
+		}
 	}
 	if m.stopped {
 		next := m.nextDeviceEvent()
@@ -49,19 +57,26 @@ func (m *Machine) step() error {
 		m.pollDevices()
 		return nil
 	}
-	if int(m.PC) >= len(m.Code) {
-		return m.fault(&BusFault{Addr: m.PC, PC: m.PC})
-	}
-	in := &m.Code[m.PC]
 	pc := m.PC
+	if int(pc) >= len(m.Code) {
+		return m.fault(&BusFault{Addr: pc, PC: pc})
+	}
+	e := &m.xcache[pc]
+	if e.run == nil {
+		m.translate(pc, e)
+	}
+	// Copy the cache line before running it: the handler itself may
+	// grow code space (KCALL services synthesize code), reallocating
+	// the xcache backing array out from under the pointer.
+	run, op := e.run, e.op
 	m.PC++
 	m.Instrs++
-	m.Cycles += baseCost(in)
+	m.Cycles += e.cost
 	if m.Trace != nil {
-		m.Trace.Record(pc, *in, m.Cycles)
+		m.Trace.Record(pc, m.Code[pc], m.Cycles)
 	}
 	traced := m.SR&FlagT != 0
-	if err := m.exec(in); err != nil {
+	if err := run(m); err != nil {
 		var bf *BusFault
 		if errors.As(err, &bf) {
 			return m.fault(bf)
@@ -72,7 +87,7 @@ func (m *Machine) step() error {
 	// debugger's step system call runs a stopped thread for exactly
 	// one instruction this way, Section 4.3). RTE itself is not
 	// traced so the stepper can return to the stepped thread cleanly.
-	if traced && m.SR&FlagT != 0 && in.Op != RTE {
+	if traced && m.SR&FlagT != 0 && op != RTE {
 		return m.Exception(VecTrace)
 	}
 	return nil
@@ -103,9 +118,43 @@ func (m *Machine) nextDeviceEvent() uint64 {
 
 // Run executes until HALT, an unrecoverable error, or the cycle
 // budget is exhausted.
+//
+// The loop body open-codes step()'s common case — translated handler,
+// no probe, no pending interrupt, no due device event, trace bit
+// clear — so the hot path runs with zero call frames between
+// instructions. Anything off that path (and the first execution of
+// every PC) falls through to Step(), the reference path; the two must
+// stay behaviorally identical.
 func (m *Machine) Run(maxCycles uint64) error {
 	limit := m.Cycles + maxCycles
 	for {
+		if m.Probe == nil && !m.halted && !m.stopped && m.pendIRQ == 0 &&
+			(m.nextPoll == 0 || m.nextPoll > m.Cycles) &&
+			m.SR&FlagT == 0 && int(m.PC) < len(m.Code) {
+			pc := m.PC
+			if e := &m.xcache[pc]; e.run != nil {
+				run := e.run
+				m.PC++
+				m.Instrs++
+				m.Cycles += e.cost
+				if m.Trace != nil {
+					m.Trace.Record(pc, m.Code[pc], m.Cycles)
+				}
+				if err := run(m); err != nil {
+					var bf *BusFault
+					if !errors.As(err, &bf) {
+						return err
+					}
+					if err := m.fault(bf); err != nil {
+						return err
+					}
+				}
+				if m.Cycles >= limit {
+					return ErrCycleLimit
+				}
+				continue
+			}
+		}
 		if err := m.Step(); err != nil {
 			return err
 		}

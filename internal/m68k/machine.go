@@ -187,12 +187,23 @@ type Machine struct {
 	// Interrupts and devices.
 	devices     []Device
 	devNext     []uint64  // per-device next event time (0 = none)
+	devFloor    uint32    // lowest device window base (max uint32 = none)
+	nextPoll    uint64    // cached earliest devNext (0 = none); see tickDevice
 	pendIRQ     uint8     // bitmask of pending interrupt levels
 	irqRaisedAt [8]uint64 // cycle each pending level was first asserted
 	stopped     bool      // STOP executed; waiting for interrupt
 	halted      bool
 	inStep      bool // executing inside Step (probe bookkeeping)
-	services    map[uint8]Service
+	services    [256]Service
+
+	// xcache is the threaded-code translation cache, one entry per
+	// code-space slot (see dispatch.go). An entry with a nil run
+	// function is cold; the step loop translates it on first fetch.
+	// Every write into code space MUST invalidate the covered slots
+	// (SetCode, PatchCode), or a stale translation would keep
+	// executing the old instruction — self-modifying synthesized code
+	// is the kernel's normal mode of operation, not a corner case.
+	xcache []xent
 }
 
 // New creates a machine with the given configuration.
@@ -211,8 +222,8 @@ func New(cfg Config) *Machine {
 		Code:       make([]Instr, 0, 4096),
 		ClockMHz:   cfg.ClockMHz,
 		WaitStates: cfg.WaitStates,
-		services:   make(map[uint8]Service),
 		SR:         FlagS | iplMask, // boot in supervisor state, interrupts masked
+		devFloor:   ^uint32(0),
 	}
 	if cfg.TraceDepth > 0 {
 		m.Trace = NewTrace(cfg.TraceDepth)
@@ -276,6 +287,9 @@ func (m *Machine) RegisterService(id uint8, s Service) {
 func (m *Machine) Attach(d Device) {
 	m.devices = append(m.devices, d)
 	m.devNext = append(m.devNext, 0)
+	if d.Base() < m.devFloor {
+		m.devFloor = d.Base()
+	}
 	m.tickDevice(len(m.devices)-1, m.Cycles)
 }
 
@@ -345,6 +359,15 @@ func (m *Machine) Kick(d Device) {
 // memory-reference counters.
 func (m *Machine) Load(addr uint32, sz uint8) (uint32, error) {
 	m.chargeMem(1)
+	// RAM fast path: every device window sits at or above devFloor, so
+	// an access strictly below it cannot hit a device (and device fault
+	// injection, which applies only to device windows, cannot apply).
+	if addr < m.devFloor {
+		if int(addr)+int(sz) > len(m.Mem) {
+			return 0, &BusFault{Addr: addr, PC: m.PC}
+		}
+		return m.loadRaw(addr, sz), nil
+	}
 	if d := m.deviceFor(addr); d != nil {
 		if m.Inj != nil && m.Inj.AccessFault(d, addr-d.Base(), false) {
 			return 0, &BusFault{Addr: addr, PC: m.PC}
@@ -376,6 +399,13 @@ func (m *Machine) loadRaw(addr uint32, sz uint8) uint32 {
 // cycle charging.
 func (m *Machine) Store(addr uint32, sz uint8, val uint32) error {
 	m.chargeMem(1)
+	if addr < m.devFloor { // RAM fast path, see Load
+		if int(addr)+int(sz) > len(m.Mem) {
+			return &BusFault{Addr: addr, Write: true, PC: m.PC}
+		}
+		m.storeRaw(addr, sz, val)
+		return nil
+	}
 	if d := m.deviceFor(addr); d != nil {
 		if m.Inj != nil && m.Inj.AccessFault(d, addr-d.Base(), true) {
 			return &BusFault{Addr: addr, Write: true, PC: m.PC}
@@ -437,19 +467,43 @@ func (m *Machine) PokeBytes(addr uint32, b []byte) {
 
 // AllocCode reserves n instruction slots in code space and returns
 // the address of the first. Synthesized routines are emitted here at
-// run time; the kernel allocates regions per quaject.
+// run time; the kernel allocates regions per quaject. The translation
+// cache grows in lockstep: xcache and Code are always the same
+// length, so the step loop's single bounds check covers both.
 func (m *Machine) AllocCode(n int) uint32 {
 	addr := uint32(len(m.Code))
 	m.Code = append(m.Code, make([]Instr, n)...)
+	m.xcache = append(m.xcache, make([]xent, n)...)
 	m.CodeTop = uint32(len(m.Code))
 	return addr
 }
 
 // SetCode installs instructions at a previously allocated code
 // address. Patching already-installed code is legal: executable data
-// structures (Section 2.2) depend on it.
+// structures (Section 2.2) depend on it. The covered translation
+// cache lines are invalidated so the next fetch decodes the new code.
 func (m *Machine) SetCode(addr uint32, code []Instr) {
 	copy(m.Code[addr:], code)
+	m.invalidateCode(addr, len(code))
+}
+
+// PatchCode rewrites a single instruction slot and invalidates its
+// translation cache line. All run-time patching of installed code
+// (executable data structures, the synthesizer's in-place rebuilds,
+// kernel panic stamping) must go through here or SetCode — a direct
+// Code[i] store would leave a stale translation executing the old
+// instruction.
+func (m *Machine) PatchCode(addr uint32, in Instr) {
+	m.Code[addr] = in
+	m.xcache[addr] = xent{}
+}
+
+// invalidateCode clears the translation cache lines covering
+// [addr, addr+n).
+func (m *Machine) invalidateCode(addr uint32, n int) {
+	for i := 0; i < n; i++ {
+		m.xcache[addr+uint32(i)] = xent{}
+	}
 }
 
 // Emit appends code at the end of code space and returns its address.
@@ -527,22 +581,31 @@ func (m *Machine) Exception(v int) error {
 	return nil
 }
 
-// tickDevice advances one device and records its next event.
+// tickDevice advances one device and records its next event. The
+// nextPoll cache is lowered conservatively (never raised here): it
+// may go stale-early when a device moves its event later, which costs
+// one wasted scan, but it is never later than a pending event, so the
+// step loop's single-compare fast path cannot miss a tick.
 func (m *Machine) tickDevice(i int, t uint64) {
 	irq, next := m.devices[i].Tick(t)
 	if irq > 0 {
 		m.PostInterrupt(irq)
 	}
 	m.devNext[i] = next
+	if next != 0 && (m.nextPoll == 0 || next < m.nextPoll) {
+		m.nextPoll = next
+	}
 }
 
-// pollDevices advances all devices whose next event time has come.
+// pollDevices advances all devices whose next event time has come,
+// then recomputes the exact earliest pending event.
 func (m *Machine) pollDevices() {
 	for i := range m.devices {
 		if n := m.devNext[i]; n != 0 && n <= m.Cycles {
 			m.tickDevice(i, m.Cycles)
 		}
 	}
+	m.nextPoll = m.nextDeviceEvent()
 }
 
 // pendingLevel returns the highest pending interrupt level above the

@@ -174,7 +174,7 @@ func (b *Builder) Emit(emit func(*Emitter)) uint32 {
 	if b.inPlace {
 		bb.LinkAt(c.M, b.base)
 		for i := len(p.Ins); i < b.size; i++ {
-			c.M.Code[b.base+uint32(i)] = m68k.Instr{Op: m68k.NOP}
+			c.M.PatchCode(b.base+uint32(i), m68k.Instr{Op: m68k.NOP})
 		}
 		// The whole reserved region belongs to this routine: time in
 		// the NOP slack (if ever reached) is still its time.
